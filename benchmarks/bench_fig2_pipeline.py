@@ -1,0 +1,61 @@
+"""E2 — Figure 2: the motivating-example image pipeline.
+
+Benchmarks producing one complete (img_floor, img_place, img_route, diff)
+panel set — place, route, render — and checks the Figure 2 invariants: the
+routing image differs from the placement image only on channel pixels, and
+the difference image (Figure 2e) is zero outside the channels.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.fpga import PathFinderRouter, Placement, PlacerOptions, SimulatedAnnealingPlacer
+from repro.viz import (
+    difference_image,
+    render_floorplan,
+    render_placement,
+    render_routing,
+)
+
+
+def test_fig2_pipeline(benchmark, scale, suite_bundles):
+    bundle = suite_bundles["diffeq1"]
+    netlist, arch, layout = bundle.netlist, bundle.arch, bundle.layout
+
+    def panel():
+        result = SimulatedAnnealingPlacer(
+            netlist, arch, PlacerOptions(seed=21, alpha_t=0.8)).place()
+        placement = Placement(netlist, arch, list(result.placement.site_of))
+        routing = PathFinderRouter(netlist, arch, placement).route()
+        floor = render_floorplan(arch, layout)
+        place = render_placement(placement, layout, base=floor)
+        route = render_routing(placement, routing, layout, place_image=place)
+        return floor, place, route, routing
+
+    floor, place, route, routing = benchmark.pedantic(
+        panel, rounds=1, iterations=1)
+
+    diff = difference_image(route, place)
+    mask = bundle.channel_mask
+    changed = diff.max(axis=-1) > 1e-6
+
+    lines = [
+        f"Figure 2 pipeline (design diffeq1, scale={scale.name})",
+        f"  grid {arch.width}x{arch.height}, channel width "
+        f"{arch.channel_width}, image {layout.image_size}px",
+        f"  routing {'succeeded' if routing.converged else 'overflowed'} "
+        f"with a channel width factor of {arch.channel_width}",
+        f"  mean utilization {routing.mean_utilization:.3f}, "
+        f"max {routing.max_utilization:.3f}",
+        f"  img_route - img_place differs on {changed.mean():.1%} of "
+        f"pixels, all inside routing channels: "
+        f"{bool(not (changed & ~mask).any())}",
+    ]
+    write_result("fig2_pipeline", lines)
+
+    # Figure 2's central observation: images change only on channels.
+    assert not (changed & ~mask).any()
+    assert changed.any()
+    # Floor vs place differ only on block pixels, never on channels.
+    floor_delta = difference_image(place, floor).max(axis=-1) > 1e-6
+    assert not (floor_delta & mask).any()

@@ -1,0 +1,64 @@
+"""E9 — Figure 9: constrained placement exploration using the ode design.
+
+Selects placements by forecast alone for the five objectives of Figure 9
+(overall max/min congestion; min congestion in the upper / lower / right
+regions) and scores each choice against the routed ground truth.
+"""
+
+from conftest import RESULTS_DIR, write_result
+
+from repro.flows import run_exploration
+from repro.viz import write_png
+
+
+def test_fig9_exploration(benchmark, scale, ode_bundle, ode_trainer,
+                          quality_checks):
+    holder = {}
+
+    def run():
+        holder["outcome"] = run_exploration(ode_bundle, ode_trainer)
+        return holder["outcome"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    outcome = holder["outcome"]
+
+    lines = [
+        f"Figure 9 constrained exploration (design ode, scale={scale.name}, "
+        f"{len(ode_bundle.dataset)} candidate placements)",
+        f"  forecast-vs-truth rank correlation (overall): "
+        f"rho={outcome.rank_correlation:.2f}",
+        f"  {'objective':<12} {'chosen':>6} {'pred':>8} {'true':>8} "
+        f"{'oracle':>6} {'regret':>8} {'hit':>4}",
+    ]
+    out_dir = RESULTS_DIR / "fig9"
+    for obj in outcome.outcomes:
+        lines.append(
+            f"  {obj.objective:<12} {obj.chosen_index:>6} "
+            f"{obj.predicted_score:>8.3f} {obj.true_score:>8.3f} "
+            f"{obj.best_true_index:>6} {obj.regret:>8.4f} "
+            f"{'yes' if obj.hit else 'no':>4}")
+        sample = ode_bundle.dataset[obj.chosen_index]
+        write_png(out_dir / f"{obj.objective}_place.png",
+                  sample.place_image)
+        write_png(out_dir / f"{obj.objective}_truth.png", sample.y_image)
+        write_png(out_dir / f"{obj.objective}_forecast.png",
+                  ode_trainer.forecast(sample))
+    write_result("fig9_exploration", lines)
+
+    overall_max = outcome.by_objective("overall-max")
+    overall_min = outcome.by_objective("overall-min")
+    if quality_checks:
+        # Shape claims: the forecaster must rank placements usefully —
+        # positive rank correlation, and its max pick truly more congested
+        # than its min pick.
+        assert outcome.rank_correlation > 0.0
+        assert overall_max.true_score >= overall_min.true_score
+    # Regret is non-negative everywhere; for the overall objectives it is
+    # bounded by the candidate congestion spread (regional objectives have
+    # their own, possibly wider, regional score ranges).
+    spread = max(s.true_congestion for s in ode_bundle.dataset) - min(
+        s.true_congestion for s in ode_bundle.dataset)
+    for obj in outcome.outcomes:
+        assert obj.regret >= 0.0
+        if obj.region == "overall":
+            assert obj.regret <= spread + 1e-9

@@ -1,0 +1,73 @@
+"""S1 — substrate micro-benchmarks: placer, router, renderer, model.
+
+Not a paper artifact; these keep the substrate's performance visible so
+regressions in the annealer/router/conv kernels are caught alongside the
+experiment benches.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.fpga import PathFinderRouter, Placement, PlacerOptions, SimulatedAnnealingPlacer
+from repro.gan import Pix2Pix, Pix2PixConfig
+from repro.viz import render_placement
+
+
+def test_placer_throughput(benchmark, scale, suite_bundles):
+    bundle = suite_bundles["OR1200"]
+    options = PlacerOptions(seed=11, alpha_t=0.6, inner_num=0.5)
+
+    def anneal():
+        return SimulatedAnnealingPlacer(
+            bundle.netlist, bundle.arch, options).place()
+
+    result = benchmark(anneal)
+    write_result("substrate_placer", [
+        f"placer: {result.num_moves} moves, "
+        f"improvement {result.improvement:.1%}",
+    ])
+    assert result.improvement > 0.1
+
+
+def test_router_throughput(benchmark, scale, suite_bundles):
+    bundle = suite_bundles["OR1200"]
+    placement = bundle.placements[0]
+
+    def route():
+        return PathFinderRouter(bundle.netlist, bundle.arch,
+                                placement).route()
+
+    result = benchmark(route)
+    write_result("substrate_router", [
+        f"router: {bundle.netlist.num_nets} nets, wirelength "
+        f"{result.wirelength}, converged={result.converged} "
+        f"in {result.iterations} iterations",
+    ])
+    assert set(result.net_trees) == {n.id for n in bundle.netlist.nets}
+
+
+def test_render_throughput(benchmark, suite_bundles):
+    bundle = suite_bundles["OR1200"]
+    image = benchmark(render_placement, bundle.placements[0], bundle.layout)
+    assert image.shape == (bundle.layout.image_size,
+                           bundle.layout.image_size, 3)
+
+
+def test_generator_inference_rate(benchmark, scale, suite_bundles):
+    bundle = suite_bundles["OR1200"]
+    model = Pix2Pix(Pix2PixConfig.from_scale(
+        scale, image_size=bundle.layout.image_size))
+    x = bundle.dataset[0].x[None]
+
+    out = benchmark(model.generate, x)
+    assert out.shape[1] == 3
+
+
+def test_train_step_rate(benchmark, scale, suite_bundles):
+    bundle = suite_bundles["OR1200"]
+    model = Pix2Pix(Pix2PixConfig.from_scale(
+        scale, image_size=bundle.layout.image_size))
+    sample = bundle.dataset[0]
+
+    losses = benchmark(model.train_step, sample.x[None], sample.y[None])
+    assert np.isfinite(losses.g_total)

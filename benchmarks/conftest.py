@@ -1,0 +1,110 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Datasets are generated once per session (and cached on disk under
+``.cache/``) so every bench reuses the same placements and ground truth.
+Each bench writes its paper-style result table to ``benchmarks/results/``;
+a terminal-summary hook echoes those tables at the end of the run.
+
+Scale is selected with ``REPRO_SCALE`` (default ``default``; use ``smoke``
+for a fast pass, ``paper`` for the full published configuration).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import get_scale
+from repro.flows import build_suite_bundles
+from repro.gan import Pix2Pix, Pix2PixConfig, Pix2PixTrainer
+
+CACHE_DIR = Path(__file__).parent.parent / ".cache"
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, lines: list[str]) -> None:
+    """Persist a bench's report table and echo it into the bench log."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def quality_checks(scale):
+    """Whether to assert the paper's quality/shape claims.
+
+    At ``smoke`` scale the model is deliberately untrained (1 epoch, tiny
+    filters) and only the plumbing is validated; ``default`` and ``paper``
+    scales enforce the claims.
+    """
+    return scale.name != "smoke"
+
+
+@pytest.fixture(scope="session")
+def suite_bundles(scale):
+    """Datasets for the whole (scaled) Table 2 suite, disk-cached."""
+    return build_suite_bundles(scale, seed=1, cache_dir=CACHE_DIR,
+                               log=lambda msg: print(f"[datagen] {msg}"))
+
+
+@pytest.fixture(scope="session")
+def or1200_bundle(suite_bundles):
+    return suite_bundles["OR1200"]
+
+
+@pytest.fixture(scope="session")
+def ode_bundle(suite_bundles):
+    return suite_bundles["ode"]
+
+
+@pytest.fixture(scope="session")
+def single_design_epochs(scale):
+    """Epoch budget for single-design fits.
+
+    ``scale.epochs`` is calibrated for leave-one-design-out training over
+    the whole suite (7x the samples per epoch); single-design benches train
+    on one design's placements and need proportionally more epochs to reach
+    the same step count.
+    """
+    return scale.epochs * 4
+
+
+@pytest.fixture(scope="session")
+def ode_trainer(scale, suite_bundles, ode_bundle):
+    """A forecaster for the ode design (shared by Fig 9 / realtime /
+    speedup benches).
+
+    Trained on the whole suite (ode included): cross-design diversity is
+    what teaches the model the placement-to-congestion mapping rather than
+    memorizing one design's mean heat map — the same reason the paper's
+    Top10 numbers come from its strategy-2 (pooled + fine-tuned) models.
+    """
+    from repro.gan.dataset import Dataset
+
+    combined = Dataset()
+    for bundle in suite_bundles.values():
+        combined.extend(bundle.dataset)
+    model = Pix2Pix(Pix2PixConfig.from_scale(
+        scale, image_size=ode_bundle.layout.image_size, seed=0))
+    trainer = Pix2PixTrainer(model, seed=0)
+    trainer.fit(combined, scale.epochs * 2)
+    return trainer
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not RESULTS_DIR.exists():
+        return
+    reports = sorted(RESULTS_DIR.glob("*.txt"))
+    if not reports:
+        return
+    terminalreporter.section("reproduction results")
+    for report in reports:
+        terminalreporter.write_line(f"--- {report.name} " + "-" * 40)
+        terminalreporter.write_line(report.read_text())

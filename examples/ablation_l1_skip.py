@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""L1 and skip-connection ablation (paper Section 5.3, Figures 7 and 8).
+
+Trains the three model variants the paper compares on an OR1200-style
+design — full model (L1 + all skips), no-L1, and single-skip — then writes
+the Figure 7 inference images and prints the Figure 8 loss statistics
+(final losses and the "training noise" of each curve).
+
+Run:  python examples/ablation_l1_skip.py [scale]
+Artifacts land in examples/out/ablation/.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.config import get_scale
+from repro.flows import build_design_bundle, run_ablation
+from repro.fpga.generators import scaled_suite
+from repro.viz import write_png
+
+OUT_DIR = Path(__file__).parent / "out" / "ablation"
+
+
+def main() -> None:
+    scale = get_scale(sys.argv[1] if len(sys.argv) > 1 else None)
+    spec = next(s for s in scaled_suite(scale) if s.name == "OR1200")
+    print(f"building dataset for {spec.name}")
+    bundle = build_design_bundle(spec, scale, seed=7)
+
+    print(f"training 3 variants x {scale.epochs} epochs")
+    results = run_ablation(scale, bundle, epochs=scale.epochs, seed=0)
+
+    write_png(OUT_DIR / "truth.png",
+              next(iter(results.values())).truth01)
+    print(f"\n{'variant':<14} {'acc':>7} {'G loss':>9} {'D loss':>9} "
+          f"{'G noise':>9}")
+    for name, result in results.items():
+        print(f"{name:<14} {result.accuracy:>7.1%} "
+              f"{result.history.g_total[-1]:>9.3f} "
+              f"{result.history.d_total[-1]:>9.3f} "
+              f"{result.loss_noise:>9.4f}")
+        safe = name.replace("/", "").replace(" ", "_")
+        write_png(OUT_DIR / f"forecast_{safe}.png", result.forecast01)
+
+    print("\nloss curves (G total per epoch):")
+    for name, result in results.items():
+        curve = " ".join(f"{v:.2f}" for v in result.history.g_total)
+        print(f"  {name:<14} {curve}")
+    print(f"\nFigure 7 images written to {OUT_DIR}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's qualitative figures (Figures 2 and 4).
+
+Figure 2 — the motivating example: img_floor, img_place, img_route
+(ground truth after routing) and the img_route - img_place difference,
+for one placement of a small design on the Figure 2-style architecture
+(memory column 3, multiplier column 7, 8-port I/O pads).
+
+Figure 4 — connectivity images of two different placements of the same
+netlist.
+
+Run:  python examples/paper_figures.py [scale]
+Artifacts land in examples/out/figures/.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.config import get_scale
+from repro.fpga import (
+    PathFinderRouter,
+    Placement,
+    PlacerOptions,
+    SimulatedAnnealingPlacer,
+    generate_design,
+    paper_architecture,
+)
+from repro.fpga.generators import minimum_architecture_size, scaled_suite
+from repro.fpga.router import estimate_channel_width
+from repro.viz import (
+    FloorplanLayout,
+    difference_image,
+    minimum_image_size,
+    render_connectivity,
+    render_floorplan,
+    render_placement,
+    render_routing,
+    write_png,
+)
+
+OUT_DIR = Path(__file__).parent / "out" / "figures"
+
+
+def main() -> None:
+    scale = get_scale(sys.argv[1] if len(sys.argv) > 1 else None)
+    spec = scaled_suite(scale)[0]
+    netlist = generate_design(spec, cluster_size=scale.cluster_size, seed=2)
+    width = minimum_architecture_size(netlist)
+    arch = paper_architecture(width, channel_width=scale.channel_width)
+    print(f"design {spec.name}: grid {arch.width}x{arch.height}, "
+          f"memory columns {arch.mem_columns}, "
+          f"multiplier columns {arch.mul_columns}")
+
+    result = SimulatedAnnealingPlacer(
+        netlist, arch, PlacerOptions(seed=4)).place()
+    channel_width = estimate_channel_width(netlist, arch, result.placement)
+    arch = paper_architecture(width, channel_width=channel_width)
+    placement = Placement(netlist, arch, list(result.placement.site_of))
+    routing = PathFinderRouter(netlist, arch, placement).route()
+    print(f"routing {'succeeded' if routing.converged else 'overflowed'} "
+          f"with a channel width factor of {channel_width}.")
+
+    image_size = max(scale.image_size, minimum_image_size(arch))
+    layout = FloorplanLayout(arch, image_size)
+
+    # Figure 2: floor plan, placement, routing heat map, difference.
+    img_floor = render_floorplan(arch, layout)
+    img_place = render_placement(placement, layout, base=img_floor)
+    img_route = render_routing(placement, routing, layout,
+                               place_image=img_place)
+    write_png(OUT_DIR / "fig2a_img_floor.png", img_floor)
+    write_png(OUT_DIR / "fig2b_img_place.png", img_place)
+    write_png(OUT_DIR / "fig2d_img_route.png", img_route)
+    write_png(OUT_DIR / "fig2e_route_minus_place.png",
+              difference_image(img_route, img_place))
+    print(f"Figure 2 panels written "
+          f"(mean utilization {routing.mean_utilization:.3f}, "
+          f"max {routing.max_utilization:.2f})")
+
+    # Figure 4: connectivity images of two different placements.
+    for tag, seed in (("a", 4), ("b", 12)):
+        placed = SimulatedAnnealingPlacer(
+            netlist, arch, PlacerOptions(seed=seed)).place().placement
+        connect = render_connectivity(netlist, placed, layout)
+        write_png(OUT_DIR / f"fig4{tag}_img_connect.png", connect)
+    print(f"Figure 4 connectivity images written to {OUT_DIR}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: the full paper pipeline on one design, end to end.
+
+1. Synthesize a Table 2-style design and fit an FPGA architecture.
+2. Sweep placer options to generate placements; route each for ground truth.
+3. Train the cGAN forecaster on the image pairs.
+4. Forecast the heat map of a held-out placement and compare with the
+   routed ground truth (per-pixel accuracy, congestion score, speedup).
+
+Run:  python examples/quickstart.py [scale]     (scale: smoke|default|paper)
+Artifacts land in examples/out/quickstart/.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.config import get_scale
+from repro.flows import build_design_bundle, measure_speedup
+from repro.fpga.generators import scaled_suite
+from repro.gan import (
+    Pix2Pix,
+    Pix2PixConfig,
+    Pix2PixTrainer,
+    image_congestion_score,
+    per_pixel_accuracy,
+)
+from repro.viz import difference_image, write_png
+
+OUT_DIR = Path(__file__).parent / "out" / "quickstart"
+
+
+def main() -> None:
+    scale = get_scale(sys.argv[1] if len(sys.argv) > 1 else None)
+    spec = scaled_suite(scale)[0]  # diffeq1 at this scale
+    print(f"[1/4] building dataset for {spec.name}: {spec.num_luts} LUTs, "
+          f"{spec.num_nets} nets, {scale.placements_per_design} placements")
+    bundle = build_design_bundle(spec, scale, seed=1)
+    print(f"      grid {bundle.arch.width}x{bundle.arch.height}, "
+          f"channel width {bundle.channel_width}, "
+          f"images {bundle.layout.image_size}px")
+
+    train = bundle.dataset[:-2]
+    test = bundle.dataset[len(bundle.dataset) - 2:]
+    print(f"[2/4] training cGAN on {len(train)} pairs "
+          f"({scale.epochs} epochs)")
+    model = Pix2Pix(Pix2PixConfig.from_scale(
+        scale, image_size=bundle.layout.image_size))
+    trainer = Pix2PixTrainer(model)
+    history = trainer.fit(train, scale.epochs, log_every=1)
+
+    print("[3/4] forecasting held-out placements")
+    for index, sample in enumerate(test):
+        forecast = trainer.forecast(sample)
+        accuracy = per_pixel_accuracy(forecast, sample.y_image)
+        predicted = image_congestion_score(forecast, bundle.channel_mask)
+        print(f"      placement {index}: per-pixel acc {accuracy:.1%}, "
+              f"predicted congestion {predicted:.3f} "
+              f"(true {sample.true_congestion:.3f})")
+        write_png(OUT_DIR / f"test{index}_input_place.png",
+                  sample.place_image)
+        write_png(OUT_DIR / f"test{index}_forecast.png", forecast)
+        write_png(OUT_DIR / f"test{index}_truth.png", sample.y_image)
+        write_png(OUT_DIR / f"test{index}_error.png",
+                  difference_image(forecast, sample.y_image))
+
+    report = measure_speedup(bundle, trainer)
+    print(f"[4/4] speedup: routing {report.mean_route_seconds * 1e3:.0f} ms "
+          f"vs inference {report.mean_infer_seconds * 1e3:.1f} ms "
+          f"-> {report.speedup:.0f}x")
+    print(f"done; images in {OUT_DIR}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — reproduction of "Painting on Placement: Forecasting Routing
+Congestion using Conditional Generative Adversarial Nets" (DAC 2019).
+
+The package is organized as paper-contribution plus the substrates it
+depends on, all implemented from scratch:
+
+* :mod:`repro.gan`   — the pix2pix-style congestion forecaster (the paper's
+  contribution): U-Net generator, patch discriminator, cGAN + L1 objective,
+  metrics and trainers for both training strategies.
+* :mod:`repro.nn`    — numpy deep-learning framework (stands in for
+  TensorFlow).
+* :mod:`repro.fpga`  — VPR-like FPGA substrate: architecture model, packed
+  netlists, synthetic Table 2 designs, simulated-annealing placer,
+  PathFinder router.
+* :mod:`repro.viz`   — image generation: Table 1 colors, rasterizer,
+  floorplan layout, img_place / img_route / connectivity renderers, PNG IO.
+* :mod:`repro.flows` — end-to-end applications: dataset pipeline, Table 2,
+  the ablations, Figure 9 exploration, real-time forecasting during SA.
+
+Quickstart::
+
+    from repro.config import get_scale
+    from repro.flows import build_design_bundle
+    from repro.fpga.generators import PAPER_SUITE
+
+    scale = get_scale("smoke")
+    bundle = build_design_bundle(PAPER_SUITE[0], scale)
+    print(bundle.dataset[0].x.shape)   # (4, H, W) model input
+"""
+
+from repro.config import DEFAULT, PAPER, SMOKE, ExperimentScale, get_scale
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT",
+    "ExperimentScale",
+    "PAPER",
+    "SMOKE",
+    "get_scale",
+    "__version__",
+]

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the flows API:
+
+* ``datagen``  — build a design's placement/routing dataset and save it.
+* ``train``    — train the cGAN on one or more designs, checkpoint it.
+* ``forecast`` — place a design fresh and forecast its heat map with a
+  checkpointed model.
+* ``table2``   — run the Table 2 experiment and print the rows.
+* ``explore``  — run the Figure 9 constrained exploration.
+
+All commands accept ``--scale {smoke,default,paper}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.config import get_scale
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default=None,
+                        choices=["smoke", "default", "paper"],
+                        help="experiment scale preset (default: $REPRO_SCALE "
+                             "or 'default')")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Painting-on-Placement congestion forecasting "
+                    "(DAC 2019 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    datagen = commands.add_parser(
+        "datagen", help="generate a design's image-pair dataset")
+    datagen.add_argument("--design", default="diffeq1",
+                         help="Table 2 design name")
+    datagen.add_argument("--placements", type=int, default=None,
+                         help="placements to sweep (default: per scale)")
+    datagen.add_argument("--seed", type=int, default=1)
+    datagen.add_argument("--out", type=Path, required=True,
+                         help="output .npz dataset path")
+    _add_scale(datagen)
+
+    train = commands.add_parser("train", help="train the cGAN forecaster")
+    train.add_argument("--designs", default="diffeq1",
+                       help="comma-separated Table 2 design names")
+    train.add_argument("--epochs", type=int, default=None)
+    train.add_argument("--seed", type=int, default=1)
+    train.add_argument("--out", type=Path, required=True,
+                       help="model checkpoint path (.npz)")
+    _add_scale(train)
+
+    forecast = commands.add_parser(
+        "forecast", help="forecast a fresh placement's heat map")
+    forecast.add_argument("--model", type=Path, required=True)
+    forecast.add_argument("--design", default="diffeq1")
+    forecast.add_argument("--seed", type=int, default=1,
+                          help="dataset/netlist seed (must match training)")
+    forecast.add_argument("--placer-seed", type=int, default=1234)
+    forecast.add_argument("--out", type=Path, required=True,
+                          help="output directory for PNGs")
+    _add_scale(forecast)
+
+    table2 = commands.add_parser("table2", help="run the Table 2 experiment")
+    table2.add_argument("--designs", default=None,
+                        help="comma-separated subset (default: all eight)")
+    table2.add_argument("--seed", type=int, default=1)
+    table2.add_argument("--cache-dir", type=Path, default=None)
+    _add_scale(table2)
+
+    explore = commands.add_parser(
+        "explore", help="Figure 9 constrained placement exploration")
+    explore.add_argument("--design", default="ode")
+    explore.add_argument("--seed", type=int, default=1)
+    _add_scale(explore)
+
+    return parser
+
+
+def _spec(scale, name: str):
+    from repro.fpga.generators import scaled_suite
+
+    for spec in scaled_suite(scale):
+        if spec.name == name:
+            return spec
+    known = ", ".join(s.name for s in scaled_suite(scale))
+    raise SystemExit(f"unknown design {name!r}; choose from: {known}")
+
+
+def cmd_datagen(args) -> int:
+    from repro.flows import build_design_bundle
+
+    scale = get_scale(args.scale)
+    bundle = build_design_bundle(_spec(scale, args.design), scale,
+                                 num_placements=args.placements,
+                                 seed=args.seed)
+    bundle.dataset.save(args.out)
+    print(f"wrote {len(bundle.dataset)} samples "
+          f"({bundle.layout.image_size}px, channel width "
+          f"{bundle.channel_width}) to {args.out}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.flows import build_suite_bundles
+    from repro.gan import Pix2Pix, Pix2PixConfig, Pix2PixTrainer
+    from repro.gan.dataset import Dataset
+
+    scale = get_scale(args.scale)
+    designs = [name.strip() for name in args.designs.split(",")]
+    bundles = build_suite_bundles(scale, seed=args.seed, designs=designs,
+                                  log=print)
+    combined = Dataset()
+    for bundle in bundles.values():
+        combined.extend(bundle.dataset)
+    image_size = next(iter(bundles.values())).layout.image_size
+    epochs = args.epochs if args.epochs is not None else scale.epochs
+    model = Pix2Pix(Pix2PixConfig.from_scale(scale, image_size=image_size,
+                                             seed=args.seed))
+    trainer = Pix2PixTrainer(model, seed=args.seed)
+    print(f"training on {len(combined)} pairs for {epochs} epochs")
+    trainer.fit(combined, epochs, log_every=max(1, epochs // 5))
+    model.save(args.out)
+    print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def cmd_forecast(args) -> int:
+    from repro.flows.datagen import build_design_bundle
+    from repro.fpga import Placement, PlacerOptions, SimulatedAnnealingPlacer
+    from repro.gan import Pix2Pix, image_congestion_score
+    from repro.gan.dataset import from_unit_range, input_from_images
+    from repro.viz import render_connectivity, render_placement, write_png
+
+    scale = get_scale(args.scale)
+    model = Pix2Pix.load(args.model)
+    bundle = build_design_bundle(
+        _spec(scale, args.design), scale, num_placements=1, seed=args.seed,
+        image_size=model.config.image_size)
+    result = SimulatedAnnealingPlacer(
+        bundle.netlist, bundle.arch,
+        PlacerOptions(seed=args.placer_seed)).place()
+    placement = Placement(bundle.netlist, bundle.arch,
+                          list(result.placement.site_of))
+    place_image = render_placement(placement, bundle.layout)
+    connect = render_connectivity(bundle.netlist, placement, bundle.layout)
+    x = input_from_images(place_image, connect, scale.connect_weight)
+    generated = model.generate(x, sample_noise=False)
+    forecast = from_unit_range(generated[0].transpose(1, 2, 0))
+    score = image_congestion_score(forecast, bundle.channel_mask)
+
+    write_png(args.out / "place.png", place_image)
+    write_png(args.out / "forecast.png", forecast)
+    print(f"forecast congestion {score:.4f}; images in {args.out}")
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.flows.experiments import Table2Row, run_table2
+
+    scale = get_scale(args.scale)
+    designs = ([name.strip() for name in args.designs.split(",")]
+               if args.designs else None)
+    rows = run_table2(scale, designs=designs, seed=args.seed,
+                      cache_dir=args.cache_dir, log=print)
+    print()
+    print(Table2Row.header())
+    for row in rows:
+        print(row.format())
+    return 0
+
+
+def cmd_explore(args) -> int:
+    from repro.flows import build_suite_bundles, run_exploration
+    from repro.gan import Pix2Pix, Pix2PixConfig, Pix2PixTrainer
+    from repro.gan.dataset import Dataset
+
+    scale = get_scale(args.scale)
+    bundles = build_suite_bundles(scale, seed=args.seed, log=print)
+    bundle = bundles[args.design]
+    combined = Dataset()
+    for item in bundles.values():
+        combined.extend(item.dataset)
+    model = Pix2Pix(Pix2PixConfig.from_scale(
+        scale, image_size=bundle.layout.image_size, seed=args.seed))
+    trainer = Pix2PixTrainer(model, seed=args.seed)
+    trainer.fit(combined, scale.epochs * 2)
+    outcome = run_exploration(bundle, trainer)
+    print(f"rank correlation rho={outcome.rank_correlation:.2f}")
+    for obj in outcome.outcomes:
+        print(f"  {obj.objective:<12} chosen={obj.chosen_index} "
+              f"true={obj.true_score:.4f} regret={obj.regret:.4f}")
+    return 0
+
+
+_COMMANDS = {
+    "datagen": cmd_datagen,
+    "train": cmd_train,
+    "forecast": cmd_forecast,
+    "table2": cmd_table2,
+    "explore": cmd_explore,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""End-to-end application flows.
+
+* :mod:`repro.flows.datagen` — the dataset pipeline of Section 5: sweep VPR
+  placement options, route every placement, render image pairs.
+* :mod:`repro.flows.experiments` — Table 2 (two training strategies plus
+  Top10), the Section 5.2 grayscale ablation, the Section 5.3 L1/skip
+  ablations, and the Section 5.1 speedup measurement.
+* :mod:`repro.flows.exploration` — Figure 9: constrained placement
+  exploration by inference.
+* :mod:`repro.flows.realtime` — Section 5.4: forecasting while the design
+  is being placed.
+"""
+
+from repro.flows.datagen import (
+    DesignBundle,
+    build_design_bundle,
+    build_suite_bundles,
+    sweep_placer_options,
+)
+from repro.flows.exploration import ExplorationOutcome, region_mask, run_exploration
+from repro.flows.experiments import (
+    AblationResult,
+    Table2Row,
+    measure_speedup,
+    run_ablation,
+    run_grayscale_ablation,
+    run_table2,
+)
+from repro.flows.realtime import RealtimeFrame, live_forecast
+
+__all__ = [
+    "AblationResult",
+    "DesignBundle",
+    "ExplorationOutcome",
+    "RealtimeFrame",
+    "Table2Row",
+    "build_design_bundle",
+    "build_suite_bundles",
+    "live_forecast",
+    "measure_speedup",
+    "region_mask",
+    "run_ablation",
+    "run_exploration",
+    "run_grayscale_ablation",
+    "run_table2",
+    "sweep_placer_options",
+]

@@ -1,0 +1,141 @@
+"""Constrained placement exploration by inference (Section 5.4, Figure 9).
+
+Given a trained forecaster and a pool of candidate placements, select the
+placement optimizing a congestion objective *from forecasts alone* — overall
+max/min congestion, or minimum congestion restricted to a region of the
+floorplan (upper, lower, right in the paper's figure) — then check the choice
+against the routed ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flows.datagen import DesignBundle
+from repro.gan.metrics import regional_congestion_score
+from repro.gan.trainer import Pix2PixTrainer
+
+#: Objectives shown left to right in Figure 9.
+FIGURE9_OBJECTIVES: tuple[tuple[str, str, str], ...] = (
+    ("overall-max", "overall", "max"),
+    ("overall-min", "overall", "min"),
+    ("upper-min", "upper", "min"),
+    ("lower-min", "lower", "min"),
+    ("right-min", "right", "min"),
+)
+
+
+def region_mask(image_size: int, region: str) -> np.ndarray:
+    """Boolean pixel mask for a named floorplan region.
+
+    ``upper``/``lower`` split the image at mid-height; ``right`` takes the
+    right half; ``overall`` selects everything.
+    """
+    mask = np.zeros((image_size, image_size), dtype=bool)
+    half = image_size // 2
+    if region == "overall":
+        mask[:, :] = True
+    elif region == "upper":
+        mask[:half, :] = True
+    elif region == "lower":
+        mask[half:, :] = True
+    elif region == "right":
+        mask[:, half:] = True
+    elif region == "left":
+        mask[:, :half] = True
+    else:
+        raise ValueError(f"unknown region {region!r}")
+    return mask
+
+
+@dataclass
+class ObjectiveOutcome:
+    """One Figure 9 column: the placement chosen for one objective."""
+
+    objective: str
+    region: str
+    direction: str
+    chosen_index: int           # index into the candidate pool
+    predicted_score: float      # forecast congestion of the chosen placement
+    true_score: float           # routed congestion of the chosen placement
+    best_true_index: int        # index the oracle would have chosen
+    regret: float               # |true(chosen) - true(oracle)|
+
+    @property
+    def hit(self) -> bool:
+        return self.chosen_index == self.best_true_index
+
+
+@dataclass
+class ExplorationOutcome:
+    """All objectives plus rank-quality statistics."""
+
+    design: str
+    outcomes: list[ObjectiveOutcome]
+    rank_correlation: float     # Spearman rho of predicted vs true overall
+
+    def by_objective(self, name: str) -> ObjectiveOutcome:
+        for outcome in self.outcomes:
+            if outcome.objective == name:
+                return outcome
+        raise KeyError(name)
+
+
+def _spearman(a: np.ndarray, b: np.ndarray) -> float:
+    from scipy.stats import spearmanr
+
+    if len(a) < 3:
+        return float("nan")
+    rho, _ = spearmanr(a, b)
+    return float(rho)
+
+
+def run_exploration(bundle: DesignBundle, trainer: Pix2PixTrainer,
+                    objectives=FIGURE9_OBJECTIVES) -> ExplorationOutcome:
+    """Score every candidate placement by forecast and apply each objective."""
+    mask = bundle.channel_mask
+    size = bundle.layout.image_size
+
+    predicted_maps = [trainer.forecast(sample) for sample in bundle.dataset]
+    truth_maps = [sample.y_image for sample in bundle.dataset]
+
+    outcomes = []
+    overall_pred = None
+    overall_true = None
+    for objective, region, direction in objectives:
+        rmask = region_mask(size, region)
+        predicted = np.array([
+            regional_congestion_score(pmap, mask, rmask)
+            for pmap in predicted_maps])
+        truth = np.array([
+            regional_congestion_score(tmap, mask, rmask)
+            for tmap in truth_maps])
+        if region == "overall":
+            overall_pred, overall_true = predicted, truth
+        pick = np.argmax if direction == "max" else np.argmin
+        chosen = int(pick(predicted))
+        oracle = int(pick(truth))
+        outcomes.append(ObjectiveOutcome(
+            objective=objective,
+            region=region,
+            direction=direction,
+            chosen_index=chosen,
+            predicted_score=float(predicted[chosen]),
+            true_score=float(truth[chosen]),
+            best_true_index=oracle,
+            regret=float(abs(truth[chosen] - truth[oracle])),
+        ))
+
+    if overall_pred is None:
+        rmask = region_mask(size, "overall")
+        overall_pred = np.array([
+            regional_congestion_score(pmap, mask, rmask)
+            for pmap in predicted_maps])
+        overall_true = np.array([
+            regional_congestion_score(tmap, mask, rmask)
+            for tmap in truth_maps])
+    rho = _spearman(overall_pred, overall_true)
+    return ExplorationOutcome(design=bundle.spec.name, outcomes=outcomes,
+                              rank_correlation=rho)

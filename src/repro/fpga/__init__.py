@@ -1,0 +1,67 @@
+"""VPR-like FPGA place-and-route substrate.
+
+This package replaces the VTR 8.0 / VPR toolchain the paper uses to produce
+its dataset: a heterogeneous island-style FPGA architecture
+(:mod:`repro.fpga.arch`), packed netlists (:mod:`repro.fpga.netlist`),
+seeded synthetic benchmark designs matching the paper's Table 2 statistics
+(:mod:`repro.fpga.generators`), a VPR-style simulated-annealing placer
+(:mod:`repro.fpga.placer`), and a PathFinder negotiated-congestion router
+(:mod:`repro.fpga.router`) whose per-channel utilization is the ground truth
+the cGAN learns to paint.
+"""
+
+from repro.fpga.arch import BlockType, FpgaArchitecture, Site, paper_architecture
+from repro.fpga.generators import (
+    PAPER_SUITE,
+    DesignSpec,
+    generate_design,
+    paper_suite,
+    scaled_suite,
+)
+from repro.fpga.netlist import Block, Net, Netlist
+from repro.fpga.packing import (
+    FlatNetlist,
+    PackingResult,
+    Primitive,
+    PrimitiveType,
+    generate_flat_design,
+    generate_packed_design,
+    pack,
+)
+from repro.fpga.placement import Placement, hpwl_cost, net_bounding_box
+from repro.fpga.placer import PlacerOptions, PlacerResult, SimulatedAnnealingPlacer
+from repro.fpga.router import PathFinderRouter, RouterOptions, RoutingResult
+from repro.fpga.timing import TimingAnalyzer, TimingReport
+
+__all__ = [
+    "Block",
+    "BlockType",
+    "DesignSpec",
+    "FlatNetlist",
+    "FpgaArchitecture",
+    "Net",
+    "Netlist",
+    "PAPER_SUITE",
+    "PackingResult",
+    "PathFinderRouter",
+    "Placement",
+    "PlacerOptions",
+    "PlacerResult",
+    "Primitive",
+    "PrimitiveType",
+    "RouterOptions",
+    "RoutingResult",
+    "SimulatedAnnealingPlacer",
+    "Site",
+    "TimingAnalyzer",
+    "TimingReport",
+    "generate_design",
+    "generate_flat_design",
+    "generate_packed_design",
+    "hpwl_cost",
+    "net_bounding_box",
+    "pack",
+    "paper_architecture",
+    "paper_suite",
+    "scaled_suite",
+]

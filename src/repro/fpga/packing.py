@@ -1,0 +1,264 @@
+"""LUT/FF-to-CLB packing (the "Packing" stage of the paper's Figure 1).
+
+The synthetic generator in :mod:`repro.fpga.generators` emits already-packed
+netlists with an assumed net-absorption ratio.  This module provides the
+real thing: a flat primitive netlist (LUTs, FFs, I/Os, memories,
+multipliers) and a VPack-style greedy clusterer that packs LUT/FF pairs
+into cluster-based logic blocks, absorbing the nets that become internal.
+
+The measured absorption of the packer on generated flat netlists is the
+empirical justification for the generator's ``absorption`` default (see
+``tests/test_fpga_packing.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.fpga.arch import BlockType
+from repro.fpga.netlist import Block, DesignStats, Net, Netlist
+
+
+class PrimitiveType(str, Enum):
+    """Pre-packing primitive kinds."""
+
+    LUT = "lut"
+    FF = "ff"
+    IO = "io"
+    MEM = "mem"
+    MUL = "mul"
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One flat-netlist element."""
+
+    id: int
+    name: str
+    type: PrimitiveType
+
+
+@dataclass(frozen=True)
+class FlatNet:
+    """A net over primitives: one driver, one or more sinks."""
+
+    id: int
+    driver: int
+    sinks: tuple[int, ...]
+
+
+@dataclass
+class FlatNetlist:
+    """Technology-mapped netlist before packing."""
+
+    name: str
+    primitives: list[Primitive]
+    nets: list[FlatNet]
+
+    def count_type(self, kind: PrimitiveType) -> int:
+        return sum(1 for p in self.primitives if p.type is kind)
+
+    def nets_of(self) -> dict[int, list[int]]:
+        """Primitive id -> incident net ids."""
+        index: dict[int, list[int]] = {p.id: [] for p in self.primitives}
+        for net in self.nets:
+            seen = set()
+            for terminal in (net.driver, *net.sinks):
+                if terminal not in seen:
+                    index[terminal].append(net.id)
+                    seen.add(terminal)
+        return index
+
+
+def generate_flat_design(name: str, num_luts: int, num_ffs: int,
+                         num_nets: int, seed: int = 0,
+                         io_fraction: float = 0.08,
+                         mem_per_luts: int = 96,
+                         mul_per_luts: int = 120) -> FlatNetlist:
+    """Synthesize a flat LUT/FF netlist with locality structure.
+
+    LUT->FF pairs are chained (a FF latches its LUT's output), clusters of
+    LUTs share nets, and a fraction of connections are long-range — the
+    same latent-geometry recipe as the packed generator, at primitive
+    granularity.
+    """
+    import zlib
+
+    # Stable name hash (Python's hash() is salted per process).
+    rng = np.random.default_rng(seed ^ zlib.crc32(name.encode()))
+    primitives: list[Primitive] = []
+
+    def add(count: int, kind: PrimitiveType, prefix: str) -> list[int]:
+        ids = []
+        for index in range(count):
+            pid = len(primitives)
+            primitives.append(Primitive(pid, f"{prefix}{index}", kind))
+            ids.append(pid)
+        return ids
+
+    lut_ids = add(num_luts, PrimitiveType.LUT, "lut")
+    ff_ids = add(num_ffs, PrimitiveType.FF, "ff")
+    io_ids = add(max(4, int(num_luts * io_fraction)), PrimitiveType.IO, "io")
+    mem_ids = add(max(1, num_luts // mem_per_luts), PrimitiveType.MEM, "mem")
+    mul_ids = add(max(1, num_luts // mul_per_luts), PrimitiveType.MUL, "mul")
+
+    positions = rng.random((len(primitives), 2))
+    # FFs sit on top of their LUT: co-locate pairs.
+    for index, ff in enumerate(ff_ids):
+        positions[ff] = positions[lut_ids[index % num_luts]]
+
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(positions)
+    k = min(17, len(primitives))
+    drivers = np.array(lut_ids + io_ids[: len(io_ids) // 2] + mem_ids
+                       + mul_ids)
+    sinks_pool = np.array(lut_ids + ff_ids + io_ids[len(io_ids) // 2:]
+                          + mem_ids + mul_ids)
+
+    nets: list[FlatNet] = []
+    # LUT -> FF latch nets first (these are the classic absorbed nets).
+    for index, ff in enumerate(ff_ids):
+        driver = lut_ids[index % num_luts]
+        nets.append(FlatNet(len(nets), driver, (ff,)))
+    while len(nets) < num_nets:
+        driver = int(drivers[rng.integers(len(drivers))])
+        fanout = 1 + int(rng.exponential(1.2))
+        _, neighbors = tree.query(positions[driver], k=k)
+        neighbors = np.atleast_1d(neighbors)
+        chosen: list[int] = []
+        attempts = 0
+        while len(chosen) < fanout and attempts < 6 * fanout + 8:
+            attempts += 1
+            if rng.random() < 0.85 and len(neighbors) > 1:
+                candidate = int(neighbors[1 + rng.integers(len(neighbors) - 1)])
+            else:
+                candidate = int(sinks_pool[rng.integers(len(sinks_pool))])
+            if candidate != driver and candidate not in chosen:
+                chosen.append(candidate)
+        if not chosen:
+            continue
+        nets.append(FlatNet(len(nets), driver, tuple(chosen)))
+    return FlatNetlist(name, primitives, nets)
+
+
+_PRIM_TO_BLOCK = {
+    PrimitiveType.IO: BlockType.IO,
+    PrimitiveType.MEM: BlockType.MEM,
+    PrimitiveType.MUL: BlockType.MUL,
+}
+
+
+@dataclass
+class PackingResult:
+    """Packed netlist plus statistics about what packing absorbed."""
+
+    netlist: Netlist
+    clusters: list[list[int]]            # primitive ids per CLB
+    absorbed_nets: int
+    external_nets: int
+
+    @property
+    def absorption(self) -> float:
+        total = self.absorbed_nets + self.external_nets
+        return self.absorbed_nets / total if total else 0.0
+
+
+def pack(flat: FlatNetlist, cluster_size: int = 10,
+         allow_unrelated: bool = True) -> PackingResult:
+    """Greedy VPack-style clustering of LUT/FF primitives into CLBs.
+
+    Seeds each cluster with the unclustered LUT of highest connectivity,
+    then greedily adds the primitive sharing the most nets with the cluster
+    (attraction function) until the cluster is full.  When no connected
+    candidate remains and ``allow_unrelated`` is set (VPR's default
+    "unrelated clustering"), the fullest-connectivity leftover primitive
+    fills the slot instead.  A FF may ride along with its driving LUT
+    without consuming a LUT slot, as in VTR architectures; nets whose
+    terminals all land in one cluster are absorbed.
+    """
+    if cluster_size < 1:
+        raise ValueError("cluster_size must be >= 1")
+    incident = flat.nets_of()
+    packable = {p.id for p in flat.primitives
+                if p.type in (PrimitiveType.LUT, PrimitiveType.FF)}
+    unclustered = set(packable)
+    net_terms = {net.id: set((net.driver, *net.sinks)) for net in flat.nets}
+
+    clusters: list[list[int]] = []
+    while unclustered:
+        seed = max(
+            (p for p in unclustered),
+            key=lambda p: (len(incident[p]), -p))
+        cluster = [seed]
+        unclustered.discard(seed)
+        cluster_nets = set(incident[seed])
+        luts_used = 1 if flat.primitives[seed].type is PrimitiveType.LUT else 0
+        while luts_used < cluster_size and unclustered:
+            # Attraction: candidates sharing nets with the cluster.
+            scores: dict[int, int] = {}
+            for net_id in cluster_nets:
+                for terminal in net_terms[net_id]:
+                    if terminal in unclustered:
+                        scores[terminal] = scores.get(terminal, 0) + 1
+            if scores:
+                best = max(scores, key=lambda p: (scores[p], -p))
+            elif allow_unrelated:
+                best = max(unclustered,
+                           key=lambda p: (len(incident[p]), -p))
+            else:
+                break
+            cluster.append(best)
+            unclustered.discard(best)
+            cluster_nets.update(incident[best])
+            if flat.primitives[best].type is PrimitiveType.LUT:
+                luts_used += 1
+        clusters.append(cluster)
+
+    # Build the packed netlist: one CLB block per cluster, plus pass-through
+    # blocks for I/O / memory / multiplier primitives.
+    prim_to_block: dict[int, int] = {}
+    blocks: list[Block] = []
+    for index, cluster in enumerate(clusters):
+        block_id = len(blocks)
+        blocks.append(Block(block_id, f"clb{index}", BlockType.CLB))
+        for prim in cluster:
+            prim_to_block[prim] = block_id
+    for prim in flat.primitives:
+        if prim.type in _PRIM_TO_BLOCK:
+            block_id = len(blocks)
+            blocks.append(Block(block_id, prim.name,
+                                _PRIM_TO_BLOCK[prim.type]))
+            prim_to_block[prim.id] = block_id
+
+    nets: list[Net] = []
+    absorbed = 0
+    for net in flat.nets:
+        driver_block = prim_to_block[net.driver]
+        sink_blocks = []
+        for sink in net.sinks:
+            block = prim_to_block[sink]
+            if block != driver_block and block not in sink_blocks:
+                sink_blocks.append(block)
+        if not sink_blocks:
+            absorbed += 1
+            continue
+        nets.append(Net(len(nets), f"net{len(nets)}", driver_block,
+                        tuple(sink_blocks)))
+
+    stats = DesignStats(num_luts=flat.count_type(PrimitiveType.LUT),
+                        num_ffs=flat.count_type(PrimitiveType.FF))
+    packed = Netlist(flat.name, blocks, nets, stats)
+    return PackingResult(netlist=packed, clusters=clusters,
+                         absorbed_nets=absorbed, external_nets=len(nets))
+
+
+def generate_packed_design(name: str, num_luts: int, num_ffs: int,
+                           num_nets: int, cluster_size: int = 10,
+                           seed: int = 0) -> PackingResult:
+    """Flat synthesis followed by packing: the full Figure 1 front half."""
+    flat = generate_flat_design(name, num_luts, num_ffs, num_nets, seed=seed)
+    return pack(flat, cluster_size=cluster_size)

@@ -1,0 +1,296 @@
+"""Placement container and wirelength cost models.
+
+Implements the VPR linear-congestion bounding-box cost the annealer optimizes:
+``sum over nets of q(t) * (bb_x + bb_y)`` where ``q(t)`` is the classic
+crossing-count correction for multi-terminal nets, plus the two alternative
+cost modes behind the paper's ``place_algorithm`` sweep option.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpga.arch import BlockType, FpgaArchitecture, Site
+from repro.fpga.netlist import Net, Netlist
+
+#: VPR's crossing-count table, indexed by number of net terminals (<= 50).
+_CROSSING = [
+    1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991,
+    1.4493, 1.4974, 1.5455, 1.5937, 1.6418, 1.6899, 1.7304, 1.7709, 1.8114,
+    1.8519, 1.8924, 1.9288, 1.9652, 2.0015, 2.0379, 2.0743, 2.1061, 2.1379,
+    2.1698, 2.2016, 2.2334, 2.2646, 2.2958, 2.3271, 2.3583, 2.3895, 2.4187,
+    2.4479, 2.4772, 2.5064, 2.5356, 2.5610, 2.5864, 2.6117, 2.6371, 2.6625,
+    2.6887, 2.7148, 2.7410, 2.7671, 2.7933,
+]
+
+
+def crossing_count(num_terminals: int) -> float:
+    """q(t): expected wiring correction for a t-terminal net (VPR)."""
+    if num_terminals < 0:
+        raise ValueError("terminal count must be non-negative")
+    if num_terminals < len(_CROSSING):
+        return _CROSSING[num_terminals]
+    return 2.7933 + 0.02616 * (num_terminals - 50)
+
+
+def net_bounding_box(xs: np.ndarray, ys: np.ndarray, net: Net
+                     ) -> tuple[int, int, int, int]:
+    """(xmin, xmax, ymin, ymax) of a net's terminals under positions xs/ys."""
+    terminals = net.terminals
+    tx = xs[list(terminals)]
+    ty = ys[list(terminals)]
+    return int(tx.min()), int(tx.max()), int(ty.min()), int(ty.max())
+
+
+class Placement:
+    """Assignment of every block to a compatible site.
+
+    Maintains position arrays for fast cost evaluation and an occupancy map
+    keyed by ``(x, y, subtile)`` for legality and swap moves.
+    """
+
+    def __init__(self, netlist: Netlist, arch: FpgaArchitecture,
+                 sites: list[Site]):
+        if len(sites) != netlist.num_blocks:
+            raise ValueError("need exactly one site per block")
+        self.netlist = netlist
+        self.arch = arch
+        self.site_of: list[Site] = list(sites)
+        # Parallel coordinate stores: numpy for vectorized consumers (router,
+        # renderers) and plain lists for the annealer's hot loop, where numpy
+        # scalar indexing would dominate the move time.
+        self.xs = np.array([site.x for site in sites], dtype=np.int32)
+        self.ys = np.array([site.y for site in sites], dtype=np.int32)
+        self.x_list: list[int] = [site.x for site in sites]
+        self.y_list: list[int] = [site.y for site in sites]
+        self._occupants: dict[tuple[int, int, int], int] = {}
+        for block_id, site in enumerate(sites):
+            key = (site.x, site.y, site.subtile)
+            if key in self._occupants:
+                raise ValueError(f"site {site} double-booked")
+            self._occupants[key] = block_id
+        self.validate()
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def random(cls, netlist: Netlist, arch: FpgaArchitecture,
+               rng: np.random.Generator) -> "Placement":
+        """Uniform random legal placement (the annealer's starting point)."""
+        sites: list[Site | None] = [None] * netlist.num_blocks
+        for block_type in BlockType:
+            blocks = netlist.blocks_of_type(block_type)
+            pool = list(arch.sites_for(block_type))
+            if len(blocks) > len(pool):
+                raise ValueError(
+                    f"{netlist.name}: {len(blocks)} {block_type.value} blocks "
+                    f"but only {len(pool)} sites")
+            order = rng.permutation(len(pool))
+            for block, site_index in zip(blocks, order):
+                sites[block.id] = pool[site_index]
+        return cls(netlist, arch, sites)  # type: ignore[arg-type]
+
+    # -- mutation ---------------------------------------------------------------
+
+    def move(self, block_id: int, new_site: Site) -> None:
+        """Move a block to a free compatible site."""
+        key = (new_site.x, new_site.y, new_site.subtile)
+        if key in self._occupants:
+            raise ValueError(f"site {new_site} is occupied")
+        old = self.site_of[block_id]
+        del self._occupants[(old.x, old.y, old.subtile)]
+        self._occupants[key] = block_id
+        self.site_of[block_id] = new_site
+        self.xs[block_id] = new_site.x
+        self.ys[block_id] = new_site.y
+        self.x_list[block_id] = new_site.x
+        self.y_list[block_id] = new_site.y
+
+    def swap(self, block_a: int, block_b: int) -> None:
+        """Exchange the sites of two same-type blocks."""
+        site_a, site_b = self.site_of[block_a], self.site_of[block_b]
+        self._occupants[(site_a.x, site_a.y, site_a.subtile)] = block_b
+        self._occupants[(site_b.x, site_b.y, site_b.subtile)] = block_a
+        self.site_of[block_a], self.site_of[block_b] = site_b, site_a
+        self.xs[block_a], self.ys[block_a] = site_b.x, site_b.y
+        self.xs[block_b], self.ys[block_b] = site_a.x, site_a.y
+        self.x_list[block_a], self.y_list[block_a] = site_b.x, site_b.y
+        self.x_list[block_b], self.y_list[block_b] = site_a.x, site_a.y
+
+    def occupant(self, site: Site) -> int | None:
+        """Block at a site, or None."""
+        return self._occupants.get((site.x, site.y, site.subtile))
+
+    def copy(self) -> "Placement":
+        return Placement(self.netlist, self.arch, list(self.site_of))
+
+    # -- legality -----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise if any block sits on an incompatible site."""
+        for block in self.netlist.blocks:
+            site = self.site_of[block.id]
+            if not self.arch.compatible(block.type, site):
+                raise ValueError(
+                    f"block {block.name} ({block.type.value}) at "
+                    f"illegal site {site}")
+
+    def io_fill_fraction(self, x: int, y: int) -> float:
+        """Fraction of an I/O pad's ports that are occupied (for rendering)."""
+        used = sum(
+            1 for sub in range(self.arch.io_capacity)
+            if (x, y, sub) in self._occupants)
+        return used / self.arch.io_capacity
+
+
+def hpwl_cost(netlist: Netlist, placement: Placement) -> float:
+    """Total q(t)-corrected half-perimeter wirelength."""
+    total = 0.0
+    xs, ys = placement.xs, placement.ys
+    for net in netlist.nets:
+        xmin, xmax, ymin, ymax = net_bounding_box(xs, ys, net)
+        total += crossing_count(net.fanout + 1) * ((xmax - xmin) + (ymax - ymin))
+    return total
+
+
+class CostModel:
+    """Net-separable placement cost: sum over nets of ``net_cost``.
+
+    Subclasses customize static net weights and a (lazily refreshed)
+    congestion multiplier.  Net-separability is what makes the annealer's
+    delta evaluation O(affected nets).
+    """
+
+    def __init__(self, netlist: Netlist, arch: FpgaArchitecture):
+        self.netlist = netlist
+        self.arch = arch
+        self._q = np.array(
+            [crossing_count(net.fanout + 1) for net in netlist.nets])
+        self.weights = np.ones(netlist.num_nets)
+        # Hot-loop caches: terminal id tuples and combined weight*q floats.
+        self._terminals = [net.terminals for net in netlist.nets]
+        self._wq = [float(w * q) for w, q in zip(self.weights, self._q)]
+
+    def _sync_weights(self) -> None:
+        """Recompute the fused weight*q cache after editing ``weights``."""
+        self._wq = [float(w * q) for w, q in zip(self.weights, self._q)]
+
+    def refresh(self, placement: Placement) -> None:
+        """Hook called once per temperature; default does nothing."""
+
+    def net_cost(self, net_id: int, placement: Placement) -> float:
+        xs = placement.x_list
+        ys = placement.y_list
+        terminals = self._terminals[net_id]
+        first = terminals[0]
+        xmin = xmax = xs[first]
+        ymin = ymax = ys[first]
+        for terminal in terminals[1:]:
+            x = xs[terminal]
+            y = ys[terminal]
+            if x < xmin:
+                xmin = x
+            elif x > xmax:
+                xmax = x
+            if y < ymin:
+                ymin = y
+            elif y > ymax:
+                ymax = y
+        return self._wq[net_id] * ((xmax - xmin) + (ymax - ymin))
+
+    def total(self, placement: Placement) -> float:
+        return float(sum(self.net_cost(net.id, placement)
+                         for net in self.netlist.nets))
+
+
+class BoundingBoxCost(CostModel):
+    """VPR's default linear-congestion bounding-box cost."""
+
+
+class CongestionAwareCost(CostModel):
+    """Bounding-box cost scaled by a RUDY-style demand map.
+
+    The demand map is rebuilt at every temperature (``refresh``) rather than
+    per move; this keeps deltas net-separable.  Stand-in for VPR's congestion-
+    aware modes in the ``place_algorithm`` sweep.
+    """
+
+    def __init__(self, netlist: Netlist, arch: FpgaArchitecture,
+                 beta: float = 1.0):
+        super().__init__(netlist, arch)
+        self.beta = beta
+        self._demand = np.zeros((arch.width + 2, arch.height + 2))
+
+    def refresh(self, placement: Placement) -> None:
+        demand = np.zeros_like(self._demand)
+        xs, ys = placement.xs, placement.ys
+        for net in self.netlist.nets:
+            xmin, xmax, ymin, ymax = net_bounding_box(xs, ys, net)
+            w = xmax - xmin + 1
+            h = ymax - ymin + 1
+            density = self._q[net.id] * (w + h) / (w * h)
+            demand[xmin:xmax + 1, ymin:ymax + 1] += density
+        peak = demand.max()
+        self._demand = demand / peak if peak > 0 else demand
+
+    def net_cost(self, net_id: int, placement: Placement) -> float:
+        xs = placement.x_list
+        ys = placement.y_list
+        terminals = self._terminals[net_id]
+        first = terminals[0]
+        xmin = xmax = xs[first]
+        ymin = ymax = ys[first]
+        for terminal in terminals[1:]:
+            x = xs[terminal]
+            y = ys[terminal]
+            if x < xmin:
+                xmin = x
+            elif x > xmax:
+                xmax = x
+            if y < ymin:
+                ymin = y
+            elif y > ymax:
+                ymax = y
+        base = self._wq[net_id] * ((xmax - xmin) + (ymax - ymin))
+        multiplier = 1.0 + self.beta * self._demand[
+            (xmin + xmax) // 2, (ymin + ymax) // 2]
+        return base * multiplier
+
+
+class CriticalityCost(CostModel):
+    """Depth-weighted cost: the ``path_timing_driven`` stand-in.
+
+    Nets spanning many logic levels get a higher weight, biasing the annealer
+    toward shortening long combinational paths, which is the placement-side
+    effect of VPR's timing-driven mode.
+    """
+
+    def __init__(self, netlist: Netlist, arch: FpgaArchitecture,
+                 criticality_weight: float = 1.5):
+        super().__init__(netlist, arch)
+        levels = netlist.levelize()
+        depth = max(levels.values()) or 1
+        for net in netlist.nets:
+            terminal_levels = [levels[t] for t in net.terminals]
+            span = max(terminal_levels) - min(terminal_levels)
+            self.weights[net.id] = 1.0 + criticality_weight * span / depth
+        self._sync_weights()
+
+
+PLACE_ALGORITHMS = {
+    "bounding_box": BoundingBoxCost,
+    "congestion_driven": CongestionAwareCost,
+    "criticality": CriticalityCost,
+}
+
+
+def make_cost_model(name: str, netlist: Netlist,
+                    arch: FpgaArchitecture) -> CostModel:
+    """Factory for the ``place_algorithm`` option values."""
+    try:
+        factory = PLACE_ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown place_algorithm {name!r}; "
+            f"choose from {sorted(PLACE_ALGORITHMS)}") from None
+    return factory(netlist, arch)

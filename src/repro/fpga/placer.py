@@ -1,0 +1,213 @@
+"""VPR-style simulated-annealing placer.
+
+Reproduces the placement stage the paper sweeps to build its dataset: the
+classic adaptive annealing schedule (Betz & Rose) with the VPR options the
+paper lists — ``seed``, ``ALPHA_T``, ``INNER_NUM`` and ``place_algorithm`` —
+exposed on :class:`PlacerOptions`.  A snapshot callback streams intermediate
+placements for the paper's Section 5.4 real-time forecasting application.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.fpga.arch import BlockType, FpgaArchitecture, Site
+from repro.fpga.netlist import Netlist
+from repro.fpga.placement import CostModel, Placement, make_cost_model
+
+
+@dataclass(frozen=True)
+class PlacerOptions:
+    """The VPR placement options the paper sweeps (Section 5, Datasets)."""
+
+    seed: int = 1
+    alpha_t: float | None = None      # fixed cooling rate; None = adaptive VPR
+    inner_num: float = 1.0            # moves per temperature multiplier
+    place_algorithm: str = "bounding_box"
+    initial_temp_scale: float = 20.0  # T0 = scale * std(random move deltas)
+    exit_temp_fraction: float = 0.005  # stop when T < frac * cost / num_nets
+    max_temperatures: int = 120
+    rlim_min: float = 1.0
+
+
+@dataclass
+class PlacerResult:
+    """Output of one annealing run."""
+
+    placement: Placement
+    final_cost: float
+    initial_cost: float
+    num_moves: int
+    num_accepted: int
+    temperatures: list[float] = field(default_factory=list)
+    cost_trace: list[float] = field(default_factory=list)
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.num_accepted / self.num_moves if self.num_moves else 0.0
+
+    @property
+    def improvement(self) -> float:
+        if self.initial_cost == 0:
+            return 0.0
+        return 1.0 - self.final_cost / self.initial_cost
+
+
+SnapshotCallback = Callable[[int, float, Placement], None]
+
+
+class SimulatedAnnealingPlacer:
+    """Adaptive simulated annealing over legal placements."""
+
+    def __init__(self, netlist: Netlist, arch: FpgaArchitecture,
+                 options: PlacerOptions | None = None):
+        self.netlist = netlist
+        self.arch = arch
+        self.options = options if options is not None else PlacerOptions()
+        self.cost_model: CostModel = make_cost_model(
+            self.options.place_algorithm, netlist, arch)
+        self._site_pools = {
+            block_type: list(arch.sites_for(block_type))
+            for block_type in BlockType
+        }
+        self._movable = [block.id for block in netlist.blocks]
+
+    # -- public API -----------------------------------------------------------
+
+    def place(self, snapshot_callback: SnapshotCallback | None = None,
+              snapshot_every: int = 1) -> PlacerResult:
+        """Run the full annealing schedule and return the final placement."""
+        options = self.options
+        rng = np.random.default_rng(options.seed)
+        placement = Placement.random(self.netlist, self.arch, rng)
+        self.cost_model.refresh(placement)
+        cost = self.cost_model.total(placement)
+        initial_cost = cost
+
+        temperature = self._initial_temperature(placement, rng)
+        rlim = float(max(self.arch.width, self.arch.height))
+        moves_per_temp = max(
+            8, int(options.inner_num * self.netlist.num_blocks ** (4 / 3)))
+
+        result = PlacerResult(
+            placement=placement, final_cost=cost, initial_cost=initial_cost,
+            num_moves=0, num_accepted=0)
+
+        for temp_index in range(options.max_temperatures):
+            self.cost_model.refresh(placement)
+            cost = self.cost_model.total(placement)
+            accepted = 0
+            for _ in range(moves_per_temp):
+                delta, applied = self._try_move(placement, rng, rlim,
+                                                temperature)
+                result.num_moves += 1
+                if applied:
+                    accepted += 1
+                    cost += delta
+            result.num_accepted += accepted
+            result.temperatures.append(temperature)
+            result.cost_trace.append(cost)
+
+            if snapshot_callback is not None and temp_index % snapshot_every == 0:
+                snapshot_callback(temp_index, temperature, placement)
+
+            success_rate = accepted / moves_per_temp
+            temperature *= self._cooling_rate(success_rate)
+            rlim = self._update_rlim(rlim, success_rate)
+            if temperature < (options.exit_temp_fraction * cost
+                              / max(1, self.netlist.num_nets)):
+                break
+
+        self.cost_model.refresh(placement)
+        result.final_cost = self.cost_model.total(placement)
+        return result
+
+    # -- schedule helpers ------------------------------------------------------
+
+    def _initial_temperature(self, placement: Placement,
+                             rng: np.random.Generator) -> float:
+        """VPR rule: T0 = 20 * std of deltas over num_blocks random moves."""
+        deltas = []
+        num_probe = min(max(16, self.netlist.num_blocks), 256)
+        for _ in range(num_probe):
+            delta, applied = self._try_move(
+                placement, rng, rlim=float(max(self.arch.width,
+                                               self.arch.height)),
+                temperature=float("inf"))
+            if applied:
+                deltas.append(delta)
+        std = float(np.std(deltas)) if deltas else 1.0
+        return max(self.options.initial_temp_scale * std, 1e-6)
+
+    def _cooling_rate(self, success_rate: float) -> float:
+        """Fixed ALPHA_T when provided, else VPR's adaptive schedule."""
+        if self.options.alpha_t is not None:
+            return self.options.alpha_t
+        if success_rate > 0.96:
+            return 0.5
+        if success_rate > 0.8:
+            return 0.9
+        if success_rate > 0.15:
+            return 0.95
+        return 0.8
+
+    def _update_rlim(self, rlim: float, success_rate: float) -> float:
+        """VPR aims for 44% acceptance by shrinking/growing the move range."""
+        rlim *= 1.0 - 0.44 + success_rate
+        return float(np.clip(rlim, self.options.rlim_min,
+                             max(self.arch.width, self.arch.height)))
+
+    # -- move engine ------------------------------------------------------------
+
+    def _try_move(self, placement: Placement, rng: np.random.Generator,
+                  rlim: float, temperature: float) -> tuple[float, bool]:
+        """Propose one move/swap; apply it with Metropolis acceptance.
+
+        Returns ``(delta_cost, applied)``.
+        """
+        block = self.netlist.blocks[
+            self._movable[rng.integers(len(self._movable))]]
+        target = self._random_target(placement, block.id, block.type, rlim, rng)
+        if target is None:
+            return 0.0, False
+        occupant = placement.occupant(target)
+        if occupant == block.id:
+            return 0.0, False
+
+        affected = set(self.netlist.nets_of_block(block.id))
+        if occupant is not None:
+            affected |= set(self.netlist.nets_of_block(occupant))
+        old_cost = sum(self.cost_model.net_cost(n, placement) for n in affected)
+
+        if occupant is None:
+            old_site = placement.site_of[block.id]
+            placement.move(block.id, target)
+            revert = lambda: placement.move(block.id, old_site)  # noqa: E731
+        else:
+            placement.swap(block.id, occupant)
+            revert = lambda: placement.swap(block.id, occupant)  # noqa: E731
+
+        new_cost = sum(self.cost_model.net_cost(n, placement) for n in affected)
+        delta = new_cost - old_cost
+        if delta <= 0 or (temperature > 0
+                          and rng.random() < math.exp(-delta / temperature)):
+            return delta, True
+        revert()
+        return 0.0, False
+
+    def _random_target(self, placement: Placement, block_id: int,
+                       block_type: BlockType, rlim: float,
+                       rng: np.random.Generator) -> Site | None:
+        """Random compatible site within the range limit (rejection sample)."""
+        pool = self._site_pools[block_type]
+        x0 = int(placement.xs[block_id])
+        y0 = int(placement.ys[block_id])
+        for _ in range(12):
+            site = pool[rng.integers(len(pool))]
+            if abs(site.x - x0) <= rlim and abs(site.y - y0) <= rlim:
+                return site
+        return None

@@ -1,0 +1,138 @@
+"""Non-learned congestion-forecast baselines.
+
+The paper's related work estimates congestion from placement features with
+classic models; the standard non-learned reference is **RUDY** (Rectangular
+Uniform wire DensitY, Spindler & Johannes, DATE'07): every net spreads
+``q(t) * (w + h) / (w * h)`` demand uniformly over its bounding box, and the
+per-channel demand map — normalized by channel capacity — approximates
+routed utilization without running a router.
+
+:class:`RudyForecaster` renders that estimate *in the paper's image space*
+(the same yellow-to-purple painting over img_place) so it is directly
+comparable with the cGAN through the same per-pixel-accuracy / Top-k
+metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga.arch import FpgaArchitecture
+from repro.fpga.netlist import Netlist
+from repro.fpga.placement import Placement, crossing_count, net_bounding_box
+from repro.viz.colors import COLOR_SCHEME, ColorScheme, utilization_to_rgb
+from repro.viz.layout import FloorplanLayout
+from repro.viz.render import render_placement
+
+
+def rudy_map(netlist: Netlist, placement: Placement) -> np.ndarray:
+    """RUDY demand per interior grid cell, shape (width+2, height+2).
+
+    Demand is accumulated over each net's bounding box inclusive of its
+    terminals' tiles; the q(t) crossing-count correction matches the
+    placer's cost model.
+    """
+    arch = placement.arch
+    demand = np.zeros((arch.width + 2, arch.height + 2))
+    xs, ys = placement.xs, placement.ys
+    for net in netlist.nets:
+        xmin, xmax, ymin, ymax = net_bounding_box(xs, ys, net)
+        w = xmax - xmin + 1
+        h = ymax - ymin + 1
+        density = crossing_count(net.fanout + 1) * (w + h) / (w * h)
+        demand[xmin:xmax + 1, ymin:ymax + 1] += density
+    return demand
+
+
+def rudy_channel_utilization(netlist: Netlist, placement: Placement
+                             ) -> tuple[np.ndarray, np.ndarray]:
+    """RUDY estimates per channel segment.
+
+    Returns ``(h_est, v_est)`` with the shapes of
+    ``RoutingResult.h_utilization()`` / ``v_utilization()``: a channel
+    segment's estimate is the mean cell demand of the tiles it borders,
+    normalized by channel capacity.
+    """
+    arch = placement.arch
+    demand = rudy_map(netlist, placement)
+    capacity = float(arch.channel_width)
+
+    h_est = np.zeros((arch.width, arch.height + 1))
+    for x in range(1, arch.width + 1):
+        for y in range(0, arch.height + 1):
+            below = demand[x, y] if y >= 1 else 0.0
+            above = demand[x, y + 1] if y + 1 <= arch.height else 0.0
+            h_est[x - 1, y] = 0.5 * (below + above) / capacity
+
+    v_est = np.zeros((arch.width + 1, arch.height))
+    for x in range(0, arch.width + 1):
+        for y in range(1, arch.height + 1):
+            left = demand[x, y] if x >= 1 else 0.0
+            right = demand[x + 1, y] if x + 1 <= arch.width else 0.0
+            v_est[x, y - 1] = 0.5 * (left + right) / capacity
+    return h_est, v_est
+
+
+@dataclass
+class RudyForecaster:
+    """Paint a RUDY-estimated heat map in the paper's image space.
+
+    ``calibration`` rescales raw RUDY estimates into utilization units;
+    fit it on routed ground truth with :meth:`calibrate` (a single scalar —
+    the least-squares gain between RUDY and routed utilization).
+    """
+
+    netlist: Netlist
+    arch: FpgaArchitecture
+    layout: FloorplanLayout
+    calibration: float = 1.0
+    scheme: ColorScheme = COLOR_SCHEME
+
+    def calibrate(self, placements: list[Placement],
+                  routed_utilizations: list[tuple[np.ndarray, np.ndarray]]
+                  ) -> float:
+        """Least-squares gain mapping RUDY estimates to routed utilization."""
+        if len(placements) != len(routed_utilizations):
+            raise ValueError("need one routed result per placement")
+        num = 0.0
+        den = 0.0
+        for placement, (h_true, v_true) in zip(placements,
+                                               routed_utilizations):
+            h_est, v_est = rudy_channel_utilization(self.netlist, placement)
+            est = np.concatenate([h_est.ravel(), v_est.ravel()])
+            true = np.concatenate([h_true.ravel(), v_true.ravel()])
+            num += float(est @ true)
+            den += float(est @ est)
+        self.calibration = num / den if den > 0 else 1.0
+        return self.calibration
+
+    def forecast(self, placement: Placement,
+                 place_image: np.ndarray | None = None) -> np.ndarray:
+        """The RUDY heat map as an (H, W, 3) image in [0, 1]."""
+        if place_image is None:
+            place_image = render_placement(placement, self.layout,
+                                           self.scheme)
+        image = place_image.copy()
+        h_est, v_est = rudy_channel_utilization(self.netlist, placement)
+        h_est = np.clip(h_est * self.calibration, 0.0, None)
+        v_est = np.clip(v_est * self.calibration, 0.0, None)
+        arch = self.arch
+        for x in range(1, arch.width + 1):
+            for y in range(0, arch.height + 1):
+                x0, y0, x1, y1 = self.layout.hchan_rect(x, y)
+                image[y0:y1, x0:x1] = utilization_to_rgb(
+                    float(h_est[x - 1, y]), self.scheme)
+        for x in range(0, arch.width + 1):
+            for y in range(1, arch.height + 1):
+                x0, y0, x1, y1 = self.layout.vchan_rect(x, y)
+                image[y0:y1, x0:x1] = utilization_to_rgb(
+                    float(v_est[x, y - 1]), self.scheme)
+        return image
+
+    def congestion_score(self, placement: Placement) -> float:
+        """Mean calibrated RUDY utilization (for ranking placements)."""
+        h_est, v_est = rudy_channel_utilization(self.netlist, placement)
+        stacked = np.concatenate([h_est.ravel(), v_est.ravel()])
+        return float(np.clip(stacked * self.calibration, 0, None).mean())

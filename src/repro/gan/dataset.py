@@ -1,0 +1,173 @@
+"""Image-pair dataset containers and input normalization (Section 4.2).
+
+The model input is ``x = stack(img_place, lambda * img_connect)`` — the RGB
+placement image plus the single-channel connectivity image scaled by the
+paper's lambda = 0.1 — and the target is the RGB routing heat map.  Images
+are stored channel-first (C, H, W) and normalized from [0, 1] to [-1, 1]
+(the generator ends in tanh).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+
+def to_unit_range(image01: np.ndarray) -> np.ndarray:
+    """Map [0, 1] image values to the tanh range [-1, 1]."""
+    return (2.0 * np.asarray(image01, dtype=np.float32) - 1.0)
+
+
+def from_unit_range(image_pm1: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_unit_range`, clipped to [0, 1]."""
+    return np.clip((np.asarray(image_pm1, dtype=np.float32) + 1.0) / 2.0,
+                   0.0, 1.0)
+
+
+def _chw(image_hwc: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(image_hwc.transpose(2, 0, 1))
+
+
+def make_input_stack(place_image: np.ndarray, connect_image: np.ndarray,
+                     connect_weight: float = 0.1) -> np.ndarray:
+    """Build the (4, H, W) model input from rendered [0, 1] images.
+
+    ``place_image`` is (H, W, 3); ``connect_image`` is (H, W).  Both are
+    normalized to [-1, 1]; the connectivity channel is scaled by lambda.
+    """
+    if place_image.ndim != 3 or place_image.shape[2] != 3:
+        raise ValueError(f"place image must be (H, W, 3), got "
+                         f"{place_image.shape}")
+    if connect_image.shape != place_image.shape[:2]:
+        raise ValueError(
+            f"connectivity image shape {connect_image.shape} does not match "
+            f"placement image {place_image.shape[:2]}")
+    place = to_unit_range(place_image)
+    connect = connect_weight * to_unit_range(connect_image)
+    return np.concatenate(
+        [_chw(place), connect[None, :, :]], axis=0).astype(np.float32)
+
+
+def input_from_images(place_image: np.ndarray, connect_image: np.ndarray,
+                      connect_weight: float = 0.1) -> np.ndarray:
+    """(1, 4, H, W) batched input, convenience wrapper for inference."""
+    return make_input_stack(place_image, connect_image,
+                            connect_weight)[None, ...]
+
+
+def target_from_image(route_image: np.ndarray) -> np.ndarray:
+    """Build the (3, H, W) normalized target from a rendered heat map."""
+    return _chw(to_unit_range(route_image)).astype(np.float32)
+
+
+@dataclass
+class Sample:
+    """One placement of one design: model input, target, and provenance."""
+
+    design: str
+    x: np.ndarray                 # (4, H, W) float32 in [-1, 1]
+    y: np.ndarray                 # (3, H, W) float32 in [-1, 1]
+    true_congestion: float        # mean channel utilization after routing
+    placer_options: dict = field(default_factory=dict)
+    route_seconds: float = 0.0
+    place_seconds: float = 0.0
+    converged: bool = True
+
+    @property
+    def y_image(self) -> np.ndarray:
+        """Ground-truth heat map as an (H, W, 3) image in [0, 1]."""
+        return from_unit_range(self.y.transpose(1, 2, 0))
+
+    @property
+    def place_image(self) -> np.ndarray:
+        """Placement input as an (H, W, 3) image in [0, 1]."""
+        return from_unit_range(self.x[:3].transpose(1, 2, 0))
+
+
+class Dataset:
+    """An ordered collection of samples from one or more designs."""
+
+    def __init__(self, samples: list[Sample] | None = None):
+        self.samples: list[Sample] = list(samples) if samples else []
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Dataset(self.samples[index])
+        return self.samples[index]
+
+    def append(self, sample: Sample) -> None:
+        self.samples.append(sample)
+
+    def extend(self, other: "Dataset") -> None:
+        self.samples.extend(other.samples)
+
+    @property
+    def designs(self) -> list[str]:
+        seen: list[str] = []
+        for sample in self.samples:
+            if sample.design not in seen:
+                seen.append(sample.design)
+        return seen
+
+    def of_design(self, design: str) -> "Dataset":
+        return Dataset([s for s in self.samples if s.design == design])
+
+    def excluding_design(self, design: str) -> "Dataset":
+        return Dataset([s for s in self.samples if s.design != design])
+
+    def leave_one_out(self, design: str) -> tuple["Dataset", "Dataset"]:
+        """(train, test) split: the paper's training strategy 1."""
+        test = self.of_design(design)
+        if not test:
+            raise ValueError(f"no samples for design {design!r}")
+        return self.excluding_design(design), test
+
+    def shuffled(self, rng: np.random.Generator) -> "Dataset":
+        order = rng.permutation(len(self.samples))
+        return Dataset([self.samples[i] for i in order])
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Serialize to compressed npz (arrays plus per-sample metadata)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays: dict[str, np.ndarray] = {}
+        meta = []
+        for index, sample in enumerate(self.samples):
+            arrays[f"x_{index}"] = sample.x
+            arrays[f"y_{index}"] = sample.y
+            meta.append((sample.design, sample.true_congestion,
+                         sample.route_seconds, sample.place_seconds,
+                         int(sample.converged), repr(sample.placer_options)))
+        arrays["meta"] = np.array(meta, dtype=object)
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Dataset":
+        import ast
+
+        with np.load(Path(path), allow_pickle=True) as archive:
+            meta = archive["meta"]
+            samples = []
+            for index, row in enumerate(meta):
+                design, congestion, route_s, place_s, converged, options = row
+                samples.append(Sample(
+                    design=str(design),
+                    x=archive[f"x_{index}"],
+                    y=archive[f"y_{index}"],
+                    true_congestion=float(congestion),
+                    placer_options=ast.literal_eval(str(options)),
+                    route_seconds=float(route_s),
+                    place_seconds=float(place_s),
+                    converged=bool(int(converged)),
+                ))
+        return cls(samples)

@@ -1,0 +1,199 @@
+"""The conditional GAN training step (Section 4.4, Figure 6).
+
+One :meth:`Pix2Pix.train_step` performs the paper's two updates:
+
+* **D step** — classify (x, truth) as real and (x, G(x, z)) as fake; the
+  two BCE gradients are averaged (the standard pix2pix 0.5 factor) and only
+  D's parameters step.
+* **G step** — push D(x, G(x, z)) toward "real" while minimizing
+  ``l1_weight * ||truth - G(x, z)||_1``; the adversarial gradient flows
+  through D into the generated image (D's own parameter gradients from this
+  pass are discarded), and only G's parameters step.
+
+Setting ``l1_weight = 0`` reproduces the "w/o L1" ablation of Section 5.3;
+``skip_mode`` selects the skip-connection ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ExperimentScale
+from repro.gan.discriminator import PatchDiscriminator
+from repro.gan.unet import UNetGenerator
+from repro.nn import Adam, BCEWithLogitsLoss, L1Loss
+
+
+@dataclass(frozen=True)
+class Pix2PixConfig:
+    """Model and objective hyperparameters (defaults: the paper's)."""
+
+    image_size: int = 256
+    input_channels: int = 4    # img_place RGB + connectivity channel
+    output_channels: int = 3   # img_route RGB
+    base_filters: int = 64
+    disc_filters: int = 64
+    skip_mode: str = "all"
+    l1_weight: float = 50.0
+    learning_rate: float = 2e-4
+    adam_beta1: float = 0.5
+    adam_beta2: float = 0.999
+    adam_eps: float = 1e-8
+    dropout: float = 0.5
+    seed: int = 0
+
+    @classmethod
+    def from_scale(cls, scale: ExperimentScale, **overrides) -> "Pix2PixConfig":
+        """Derive a config from an experiment scale preset."""
+        values = dict(
+            image_size=scale.image_size,
+            base_filters=scale.base_filters,
+            disc_filters=scale.disc_filters,
+            l1_weight=scale.l1_weight,
+            learning_rate=scale.learning_rate,
+            adam_beta1=scale.adam_beta1,
+            adam_beta2=scale.adam_beta2,
+            adam_eps=scale.adam_eps,
+        )
+        values.update(overrides)
+        return cls(**values)
+
+
+@dataclass
+class StepLosses:
+    """Scalar losses from one adversarial step."""
+
+    d_real: float
+    d_fake: float
+    g_gan: float
+    g_l1: float
+
+    @property
+    def d_total(self) -> float:
+        return 0.5 * (self.d_real + self.d_fake)
+
+    @property
+    def g_total(self) -> float:
+        return self.g_gan + self.g_l1
+
+
+class Pix2Pix:
+    """Generator + discriminator pair with their optimizers."""
+
+    def __init__(self, config: Pix2PixConfig | None = None):
+        self.config = config if config is not None else Pix2PixConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.generator = UNetGenerator(
+            in_channels=cfg.input_channels,
+            out_channels=cfg.output_channels,
+            image_size=cfg.image_size,
+            base_filters=cfg.base_filters,
+            skip_mode=cfg.skip_mode,
+            dropout=cfg.dropout,
+            rng=rng,
+        )
+        self.discriminator = PatchDiscriminator(
+            in_channels=cfg.input_channels + cfg.output_channels,
+            base_filters=cfg.disc_filters,
+            image_size=cfg.image_size,
+            rng=rng,
+        )
+        adam_kwargs = dict(lr=cfg.learning_rate, beta1=cfg.adam_beta1,
+                           beta2=cfg.adam_beta2, eps=cfg.adam_eps)
+        self.opt_g = Adam(self.generator.parameters(), **adam_kwargs)
+        self.opt_d = Adam(self.discriminator.parameters(), **adam_kwargs)
+        self._bce = BCEWithLogitsLoss()
+        self._l1 = L1Loss()
+
+    # -- training --------------------------------------------------------------
+
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> StepLosses:
+        """One D update followed by one G update on a batch."""
+        generator = self.generator
+        discriminator = self.discriminator
+        generator.train(True)
+        discriminator.train(True)
+
+        fake = generator.forward(x)
+
+        # ---- discriminator step -------------------------------------------
+        self.opt_d.zero_grad()
+        real_logits = discriminator.forward(np.concatenate([x, y], axis=1))
+        d_real = self._bce.forward(real_logits, 1.0)
+        discriminator.backward(0.5 * self._bce.backward())
+
+        fake_logits = discriminator.forward(
+            np.concatenate([x, fake], axis=1))
+        d_fake = self._bce.forward(fake_logits, 0.0)
+        discriminator.backward(0.5 * self._bce.backward())
+        self.opt_d.step()
+
+        # ---- generator step -------------------------------------------------
+        self.opt_g.zero_grad()
+        fool_logits = discriminator.forward(
+            np.concatenate([x, fake], axis=1))
+        g_gan = self._bce.forward(fool_logits, 1.0)
+        d_input_grad = discriminator.backward(self._bce.backward())
+        grad_fake = d_input_grad[:, x.shape[1]:]
+
+        g_l1_raw = self._l1.forward(fake, y)
+        g_l1 = self.config.l1_weight * g_l1_raw
+        if self.config.l1_weight > 0:
+            grad_fake = grad_fake + self.config.l1_weight * self._l1.backward()
+
+        generator.backward(grad_fake.astype(np.float32))
+        self.opt_g.step()
+        # The G pass polluted D's parameter gradients; discard them.
+        self.opt_d.zero_grad()
+
+        return StepLosses(d_real=d_real, d_fake=d_fake, g_gan=g_gan, g_l1=g_l1)
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Checkpoint both networks (and the config) to an ``.npz`` file."""
+        import dataclasses
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        state = {f"G.{k}": v for k, v in self.generator.state_dict().items()}
+        state.update(
+            {f"D.{k}": v for k, v in self.discriminator.state_dict().items()})
+        state["config_json"] = np.array(
+            json.dumps(dataclasses.asdict(self.config)))
+        np.savez_compressed(path, **state)
+
+    @classmethod
+    def load(cls, path) -> "Pix2Pix":
+        """Restore a model checkpointed with :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        with np.load(Path(path), allow_pickle=False) as archive:
+            config = Pix2PixConfig(**json.loads(str(archive["config_json"])))
+            model = cls(config)
+            g_state = {key[2:]: archive[key] for key in archive.files
+                       if key.startswith("G.")}
+            d_state = {key[2:]: archive[key] for key in archive.files
+                       if key.startswith("D.")}
+        model.generator.load_state_dict(g_state)
+        model.discriminator.load_state_dict(d_state)
+        return model
+
+    # -- inference ---------------------------------------------------------------
+
+    def generate(self, x: np.ndarray, sample_noise: bool = True) -> np.ndarray:
+        """Forecast heat maps for a batch of inputs.
+
+        ``sample_noise=True`` keeps decoder dropout active (pix2pix draws its
+        noise z from dropout, including at test time).
+        """
+        self.generator.train(sample_noise)
+        out = self.generator.forward(x)
+        self.generator.train(True)
+        return out

@@ -1,0 +1,122 @@
+"""Training orchestration: epochs, evaluation, and transfer fine-tuning.
+
+Implements the paper's two training strategies (Section 5.1):
+
+* **Strategy 1** — train on every design except the test design
+  (leave-one-design-out; reported as Acc.1).
+* **Strategy 2** — additionally fine-tune the strategy-1 model on a handful
+  of pairs from the test design (transfer learning; reported as Acc.2, and
+  the model used for the Top10 ranking results).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gan.dataset import Dataset, Sample, from_unit_range
+from repro.gan.metrics import DEFAULT_TOLERANCE, per_pixel_accuracy
+from repro.gan.pix2pix import Pix2Pix
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch average losses (the curves of Figure 8)."""
+
+    g_total: list[float] = field(default_factory=list)
+    g_gan: list[float] = field(default_factory=list)
+    g_l1: list[float] = field(default_factory=list)
+    d_total: list[float] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.g_total)
+
+    def extend(self, other: "TrainHistory") -> None:
+        self.g_total.extend(other.g_total)
+        self.g_gan.extend(other.g_gan)
+        self.g_l1.extend(other.g_l1)
+        self.d_total.extend(other.d_total)
+        self.epoch_seconds.extend(other.epoch_seconds)
+
+
+class Pix2PixTrainer:
+    """Epoch loop over a dataset with batch size 1 (the paper's setting)."""
+
+    def __init__(self, model: Pix2Pix, seed: int = 0):
+        self.model = model
+        self.rng = np.random.default_rng(seed)
+        self.history = TrainHistory()
+
+    def fit(self, dataset: Dataset, epochs: int,
+            log_every: int | None = None) -> TrainHistory:
+        """Train for ``epochs`` passes, shuffling each epoch."""
+        if not dataset:
+            raise ValueError("cannot train on an empty dataset")
+        run = TrainHistory()
+        for epoch in range(epochs):
+            start = time.perf_counter()
+            shuffled = dataset.shuffled(self.rng)
+            sums = np.zeros(4)
+            for sample in shuffled:
+                losses = self.model.train_step(sample.x[None], sample.y[None])
+                sums += (losses.g_total, losses.g_gan, losses.g_l1,
+                         losses.d_total)
+            averages = sums / len(shuffled)
+            run.g_total.append(float(averages[0]))
+            run.g_gan.append(float(averages[1]))
+            run.g_l1.append(float(averages[2]))
+            run.d_total.append(float(averages[3]))
+            run.epoch_seconds.append(time.perf_counter() - start)
+            if log_every and (epoch + 1) % log_every == 0:
+                print(f"  epoch {epoch + 1}/{epochs}: "
+                      f"G={averages[0]:.4f} (gan {averages[1]:.4f}, "
+                      f"l1 {averages[2]:.4f}) D={averages[3]:.4f}")
+        self.history.extend(run)
+        return run
+
+    def fine_tune(self, dataset: Dataset, epochs: int,
+                  lr_scale: float = 0.2) -> TrainHistory:
+        """Strategy-2 transfer update on a few test-design pairs.
+
+        The learning rate is scaled down (default 5x) for the update: the
+        paper fine-tunes with 10 of 200 pairs at its base rate, and at our
+        reduced data scale an un-damped update overfits the handful of
+        pairs and destroys the cross-design congestion calibration the
+        Top10 ranking depends on (see EXPERIMENTS.md).
+        """
+        if lr_scale <= 0:
+            raise ValueError("lr_scale must be positive")
+        original = (self.model.opt_g.lr, self.model.opt_d.lr)
+        self.model.opt_g.lr *= lr_scale
+        self.model.opt_d.lr *= lr_scale
+        try:
+            return self.fit(dataset, epochs)
+        finally:
+            self.model.opt_g.lr, self.model.opt_d.lr = original
+
+    # -- evaluation --------------------------------------------------------------
+
+    def forecast(self, sample: Sample, sample_noise: bool = False
+                 ) -> np.ndarray:
+        """Generated heat map for one sample, as (H, W, 3) in [0, 1]."""
+        out = self.model.generate(sample.x[None], sample_noise=sample_noise)
+        return from_unit_range(out[0].transpose(1, 2, 0))
+
+    def evaluate(self, dataset: Dataset,
+                 tolerance: float = DEFAULT_TOLERANCE) -> list[float]:
+        """Per-sample per-pixel accuracy against ground truth."""
+        accuracies = []
+        for sample in dataset:
+            generated = self.forecast(sample)
+            accuracies.append(
+                per_pixel_accuracy(generated, sample.y_image, tolerance))
+        return accuracies
+
+    def mean_accuracy(self, dataset: Dataset,
+                      tolerance: float = DEFAULT_TOLERANCE) -> float:
+        scores = self.evaluate(dataset, tolerance)
+        return float(np.mean(scores))

@@ -1,0 +1,69 @@
+"""A small, from-scratch numpy deep-learning framework.
+
+This package stands in for TensorFlow in the original work.  It provides
+exactly the operator set the paper's cGAN needs — strided convolutions,
+transposed convolutions, batch normalization, LeakyReLU/ReLU/tanh/sigmoid,
+dropout, Adam, and the BCE/L1 losses — implemented with explicit
+forward/backward passes over im2col-packed arrays and verified against
+finite differences in the test suite.
+"""
+
+from repro.nn.functional import (
+    col2im,
+    conv2d_output_size,
+    conv_transpose2d_output_size,
+    im2col,
+    leaky_relu,
+    sigmoid,
+)
+from repro.nn.init import he_normal, normal_init, xavier_uniform
+from repro.nn.layers import (
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    ConvTranspose2d,
+    Dropout,
+    Identity,
+    LeakyReLU,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import BCEWithLogitsLoss, L1Loss, MSELoss
+from repro.nn.optim import SGD, Adam
+from repro.nn.serialize import load_state_dict, save_state_dict
+
+__all__ = [
+    "Adam",
+    "BCEWithLogitsLoss",
+    "BatchNorm2d",
+    "Concat",
+    "Conv2d",
+    "ConvTranspose2d",
+    "Dropout",
+    "Identity",
+    "L1Loss",
+    "LeakyReLU",
+    "MSELoss",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "col2im",
+    "conv2d_output_size",
+    "conv_transpose2d_output_size",
+    "he_normal",
+    "im2col",
+    "leaky_relu",
+    "load_state_dict",
+    "normal_init",
+    "save_state_dict",
+    "sigmoid",
+    "xavier_uniform",
+]

@@ -1,0 +1,112 @@
+"""Low-level tensor operations: im2col packing and activation functions.
+
+All image tensors use NCHW layout (batch, channels, height, width).  The
+convolution layers in :mod:`repro.nn.layers` are thin wrappers over
+:func:`im2col` / :func:`col2im`; keeping the packing logic here makes it
+independently testable (the test suite checks that ``col2im`` is the exact
+adjoint of ``im2col``, which is what makes the conv gradients correct).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv2d_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"conv output size {out} <= 0 for size={size}, kernel={kernel}, "
+            f"stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def conv_transpose2d_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a transposed convolution along one dimension."""
+    out = (size - 1) * stride - 2 * pad + kernel
+    if out <= 0:
+        raise ValueError(
+            f"conv_transpose output size {out} <= 0 for size={size}, "
+            f"kernel={kernel}, stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, pad: int) -> np.ndarray:
+    """Unfold sliding windows of ``x`` into rows.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(n, c, h, w)``.
+    kernel, stride, pad:
+        Square kernel size, stride, and symmetric zero padding.
+
+    Returns
+    -------
+    Array of shape ``(n * out_h * out_w, c * kernel * kernel)`` where each row
+    is one receptive field, ordered batch-major then row-major over output
+    positions.
+    """
+    n, c, h, w = x.shape
+    out_h = conv2d_output_size(h, kernel, stride, pad)
+    out_w = conv2d_output_size(w, kernel, stride, pad)
+
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+
+    col = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            col[:, :, ky, kx, :, :] = x[:, :, ky:y_max:stride, kx:x_max:stride]
+    return col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def col2im(
+    col: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add rows back into an image.
+
+    ``col`` has the shape produced by ``im2col(x, kernel, stride, pad)`` for an
+    ``x`` of shape ``x_shape``; overlapping windows accumulate, which is
+    exactly the gradient of the unfolding operation.
+    """
+    n, c, h, w = x_shape
+    out_h = conv2d_output_size(h, kernel, stride, pad)
+    out_w = conv2d_output_size(w, kernel, stride, pad)
+
+    col = col.reshape(n, out_h, out_w, c, kernel, kernel)
+    col = col.transpose(0, 3, 4, 5, 1, 2)
+    img = np.zeros(
+        (n, c, h + 2 * pad + stride - 1, w + 2 * pad + stride - 1),
+        dtype=col.dtype,
+    )
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            img[:, :, ky:y_max:stride, kx:x_max:stride] += col[:, :, ky, kx, :, :]
+    return img[:, :, pad:pad + h, pad:pad + w]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out.astype(x.dtype, copy=False)
+
+
+def leaky_relu(x: np.ndarray, slope: float = 0.2) -> np.ndarray:
+    """LeakyReLU activation used throughout the pix2pix encoder."""
+    return np.where(x >= 0, x, slope * x)

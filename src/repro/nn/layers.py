@@ -1,0 +1,448 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Every layer caches what it needs during ``forward`` and consumes the cache in
+``backward``, returning the gradient with respect to its input while
+accumulating parameter gradients in place.  This mirrors the define-by-run
+style the paper's TensorFlow implementation relies on, without an autodiff
+graph — which keeps each derivative small enough to verify by finite
+differences (see ``tests/test_nn_gradcheck.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.functional import (
+    col2im,
+    conv2d_output_size,
+    conv_transpose2d_output_size,
+    im2col,
+)
+from repro.nn.init import normal_init
+
+
+class Parameter:
+    """A learnable tensor and its accumulated gradient."""
+
+    __slots__ = ("data", "grad")
+
+    def __init__(self, data: np.ndarray):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+
+class Module:
+    """Base class: tracks sub-modules and parameters via attribute scan."""
+
+    def __init__(self):
+        self.training = True
+
+    # -- graph traversal ---------------------------------------------------
+
+    def children(self) -> Iterator["Module"]:
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield key, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{key}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{key}.{index}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return int(sum(param.data.size for param in self.parameters()))
+
+    # -- mode / gradient management ----------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self.children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state dict ----------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for name, value in self._named_buffers():
+            state[name] = value.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        buffers = dict(self._named_buffers())
+        for name, value in state.items():
+            if name in own:
+                if own[name].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: "
+                        f"{own[name].data.shape} vs {value.shape}"
+                    )
+                own[name].data[...] = value
+            elif name in buffers:
+                buffers[name][...] = value
+            else:
+                raise KeyError(f"unexpected key in state dict: {name}")
+
+    def _named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, value in vars(self).items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Module):
+                yield from value._named_buffers(prefix=f"{key}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item._named_buffers(prefix=f"{key}.{index}.")
+            elif isinstance(value, np.ndarray) and name.startswith("running_"):
+                yield key, value
+
+    # -- computation ---------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Conv2d(Module):
+    """Strided 2-D convolution (square kernel, symmetric zero padding)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 4,
+                 stride: int = 2, pad: int = 1, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self.weight = Parameter(
+            normal_init((out_channels, in_channels, kernel, kernel), rng)
+        )
+        self.bias = Parameter(np.zeros(out_channels, dtype=np.float32)) if bias else None
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        out_h = conv2d_output_size(h, self.kernel, self.stride, self.pad)
+        out_w = conv2d_output_size(w, self.kernel, self.stride, self.pad)
+        col = im2col(x, self.kernel, self.stride, self.pad)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        out = col @ w_mat.T
+        if self.bias is not None:
+            out += self.bias.data
+        self._cache = (x.shape, col)
+        return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_shape, col = self._cache
+        n, _, out_h, out_w = grad.shape
+        grad_mat = grad.transpose(0, 2, 3, 1).reshape(n * out_h * out_w,
+                                                      self.out_channels)
+        self.weight.grad += (grad_mat.T @ col).reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_mat.sum(axis=0)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        grad_col = grad_mat @ w_mat
+        return col2im(grad_col, x_shape, self.kernel, self.stride, self.pad)
+
+
+class ConvTranspose2d(Module):
+    """Transposed convolution (fractionally-strided), the U-Net upsampler.
+
+    Forward here is exactly the backward-data pass of :class:`Conv2d`, and
+    vice versa, which is the defining property of the transposed operator.
+    Weight layout is ``(in_channels, out_channels, k, k)``.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 4,
+                 stride: int = 2, pad: int = 1, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self.weight = Parameter(
+            normal_init((in_channels, out_channels, kernel, kernel), rng)
+        )
+        self.bias = Parameter(np.zeros(out_channels, dtype=np.float32)) if bias else None
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        out_h = conv_transpose2d_output_size(h, self.kernel, self.stride, self.pad)
+        out_w = conv_transpose2d_output_size(w, self.kernel, self.stride, self.pad)
+        x_mat = x.transpose(0, 2, 3, 1).reshape(n * h * w, c)
+        w_mat = self.weight.data.reshape(self.in_channels, -1)
+        col = x_mat @ w_mat
+        out = col2im(col, (n, self.out_channels, out_h, out_w),
+                     self.kernel, self.stride, self.pad)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None, None]
+        self._cache = (x_mat, (n, h, w), (out_h, out_w))
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_mat, (n, h, w), _ = self._cache
+        grad_col = im2col(grad, self.kernel, self.stride, self.pad)
+        self.weight.grad += (x_mat.T @ grad_col).reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=(0, 2, 3))
+        w_mat = self.weight.data.reshape(self.in_channels, -1)
+        grad_x = grad_col @ w_mat.T
+        return grad_x.reshape(n, h, w, self.in_channels).transpose(0, 3, 1, 2)
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over (N, H, W) per channel.
+
+    With the paper's batch size of 1 this behaves like instance norm, which is
+    the standard pix2pix regime.  Running statistics drive eval mode.
+    """
+
+    def __init__(self, channels: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.channels = channels
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(channels, dtype=np.float32))
+        self.beta = Parameter(np.zeros(channels, dtype=np.float32))
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[1] != self.channels:
+            raise ValueError(f"expected {self.channels} channels, got {x.shape[1]}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            count = x.shape[0] * x.shape[2] * x.shape[3]
+            self.running_mean[...] = ((1 - self.momentum) * self.running_mean
+                                      + self.momentum * mean)
+            unbiased = var * count / max(count - 1, 1)
+            self.running_var[...] = ((1 - self.momentum) * self.running_var
+                                     + self.momentum * unbiased)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = (self.gamma.data[None, :, None, None] * x_hat
+               + self.beta.data[None, :, None, None])
+        self._cache = (x_hat, inv_std)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        self.gamma.grad += (grad * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad.sum(axis=(0, 2, 3))
+        if not self.training:
+            return grad * (self.gamma.data * inv_std)[None, :, None, None]
+        count = grad.shape[0] * grad.shape[2] * grad.shape[3]
+        g = grad * self.gamma.data[None, :, None, None]
+        sum_g = g.sum(axis=(0, 2, 3), keepdims=True).reshape(1, -1, 1, 1)
+        sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True).reshape(1, -1, 1, 1)
+        return (inv_std[None, :, None, None] / count
+                * (count * g - sum_g - x_hat * sum_gx))
+
+
+class LeakyReLU(Module):
+    """LeakyReLU with configurable negative slope (pix2pix uses 0.2)."""
+
+    def __init__(self, slope: float = 0.2):
+        super().__init__()
+        self.slope = slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x >= 0
+        return np.where(self._mask, x, self.slope * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad, self.slope * grad)
+
+
+class ReLU(LeakyReLU):
+    """Standard ReLU (decoder activations)."""
+
+    def __init__(self):
+        super().__init__(slope=0.0)
+
+
+class Tanh(Module):
+    """Output activation: images are generated in [-1, 1]."""
+
+    def __init__(self):
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad * (1.0 - self._out * self._out)
+
+
+class Sigmoid(Module):
+    """Logistic activation (used only when a probability output is needed;
+    the discriminator trains on logits through BCEWithLogitsLoss)."""
+
+    def __init__(self):
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        from repro.nn.functional import sigmoid
+
+        self._out = sigmoid(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._out * (1.0 - self._out)
+
+
+class Dropout(Module):
+    """Inverted dropout.
+
+    pix2pix injects its noise ``z`` purely through dropout in the decoder; the
+    generator can therefore be run with dropout active at inference to sample
+    diverse outputs (``training=True``).
+    """
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class Identity(Module):
+    """No-op layer, useful for optional slots in block builders."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad
+
+
+class Sequential(Module):
+    """Composes layers; backward runs them in reverse."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def append(self, layer: Module) -> None:
+        self.layers.append(layer)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+
+class Concat(Module):
+    """Channel-wise concatenation of two inputs (U-Net skip connections).
+
+    ``forward`` takes a tuple; ``backward`` returns a tuple of gradients split
+    at the recorded channel boundary.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._split: int | None = None
+
+    def forward(self, pair) -> np.ndarray:  # type: ignore[override]
+        a, b = pair
+        if a.shape[0] != b.shape[0] or a.shape[2:] != b.shape[2:]:
+            raise ValueError(f"cannot concat shapes {a.shape} and {b.shape}")
+        self._split = a.shape[1]
+        return np.concatenate([a, b], axis=1)
+
+    def backward(self, grad: np.ndarray):  # type: ignore[override]
+        if self._split is None:
+            raise RuntimeError("backward called before forward")
+        return grad[:, :self._split], grad[:, self._split:]

@@ -1,0 +1,75 @@
+"""Optimizers.
+
+The paper trains both networks with Adam at lr=2e-4, beta1=0.5, beta2=0.999,
+eps=1e-8 — the pix2pix defaults.  SGD is included for tests and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, vel in zip(self.params, self._velocity):
+            if self.momentum > 0.0:
+                vel *= self.momentum
+                vel -= self.lr * param.grad
+                param.data += vel
+            else:
+                param.data -= self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam with the paper's constants as defaults."""
+
+    def __init__(self, params: list[Parameter], lr: float = 2e-4,
+                 beta1: float = 0.5, beta2: float = 0.999, eps: float = 1e-8):
+        super().__init__(params, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for param, m, v in zip(self.params, self._m, self._v):
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

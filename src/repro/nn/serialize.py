@@ -1,0 +1,22 @@
+"""Checkpoint serialization for :class:`repro.nn.layers.Module` trees."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def save_state_dict(module: Module, path: str | Path) -> None:
+    """Save a module's parameters and running buffers to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **module.state_dict())
+
+
+def load_state_dict(module: Module, path: str | Path) -> None:
+    """Load parameters saved by :func:`save_state_dict` into ``module``."""
+    with np.load(Path(path)) as archive:
+        module.load_state_dict({name: archive[name] for name in archive.files})

@@ -1,0 +1,106 @@
+"""Table 1 color scheme and the utilization gradient.
+
+The paper (Table 1) uses VPR's default interactive-mode colors:
+
+===========  =========================  =========================
+Color        img_place                  img_route
+===========  =========================  =========================
+White        Routing channels           Out of floor plan
+Lightblue    CLB spots                  Remaining CLB spots
+Pink         Multiplier                 Multiplier
+Lightyellow  Memory                     Memory
+Black        Used CLB and IO spots      Used CLB and IO spots
+Yellow2purple gradient      -           Routing utilization
+===========  =========================  =========================
+
+All colors are RGB floats in [0, 1].  The gradient is linear from yellow
+(utilization 0) to purple (utilization 1), which makes decoding a generated
+heat map back into utilization values a projection onto a line segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _rgb(r: float, g: float, b: float) -> np.ndarray:
+    return np.array([r, g, b], dtype=np.float32)
+
+
+@dataclass(frozen=True)
+class ColorScheme:
+    """Named colors for rendering placements and heat maps."""
+
+    white: np.ndarray = field(default_factory=lambda: _rgb(1.0, 1.0, 1.0))
+    lightblue: np.ndarray = field(
+        default_factory=lambda: _rgb(0.678, 0.847, 0.902))
+    pink: np.ndarray = field(default_factory=lambda: _rgb(1.0, 0.753, 0.796))
+    lightyellow: np.ndarray = field(
+        default_factory=lambda: _rgb(1.0, 1.0, 0.878))
+    black: np.ndarray = field(default_factory=lambda: _rgb(0.0, 0.0, 0.0))
+    # Unused I/O pads are not listed in Table 1; VPR draws them as light
+    # outlines, rendered here as light gray.
+    io_pad: np.ndarray = field(default_factory=lambda: _rgb(0.85, 0.85, 0.85))
+    gradient_low: np.ndarray = field(
+        default_factory=lambda: _rgb(1.0, 1.0, 0.0))    # yellow, util = 0
+    gradient_high: np.ndarray = field(
+        default_factory=lambda: _rgb(0.502, 0.0, 0.502))  # purple, util = 1
+
+
+COLOR_SCHEME = ColorScheme()
+
+
+def utilization_to_rgb(utilization: np.ndarray | float,
+                       scheme: ColorScheme = COLOR_SCHEME) -> np.ndarray:
+    """Map utilization in [0, 1] onto the yellow-to-purple gradient.
+
+    Values outside [0, 1] (overused channels) are clipped, matching how a
+    saturated color bar renders them.
+    """
+    u = np.clip(np.asarray(utilization, dtype=np.float32), 0.0, 1.0)
+    u = u[..., None]
+    return (1.0 - u) * scheme.gradient_low + u * scheme.gradient_high
+
+
+def decode_utilization(rgb: np.ndarray,
+                       scheme: ColorScheme = COLOR_SCHEME) -> np.ndarray:
+    """Project RGB pixels back onto the gradient to recover utilization.
+
+    The inverse of :func:`utilization_to_rgb` for on-gradient colors; for
+    arbitrary colors it returns the utilization of the *closest* gradient
+    point, which is how generated (imperfect) heat maps are scored.
+    """
+    rgb = np.asarray(rgb, dtype=np.float32)
+    direction = scheme.gradient_high - scheme.gradient_low
+    denom = float(direction @ direction)
+    offset = rgb - scheme.gradient_low
+    u = (offset @ direction) / denom
+    return np.clip(u, 0.0, 1.0)
+
+
+def gradient_distance(rgb: np.ndarray,
+                      scheme: ColorScheme = COLOR_SCHEME) -> np.ndarray:
+    """Euclidean distance from each pixel to the gradient line segment.
+
+    Used to identify which pixels of a generated image are actually painting
+    utilization (small distance) versus structure (large distance).
+    """
+    rgb = np.asarray(rgb, dtype=np.float32)
+    u = decode_utilization(rgb, scheme)
+    nearest = utilization_to_rgb(u, scheme)
+    return np.linalg.norm(rgb - nearest, axis=-1)
+
+
+def rgb_to_grayscale(rgb: np.ndarray) -> np.ndarray:
+    """Luminance conversion with the ITU-R 601 weights.
+
+    Matches ``tf.image.rgb_to_grayscale`` (the op the paper uses for its
+    Section 5.2 grayscale ablation): Y = 0.2989 R + 0.587 G + 0.114 B,
+    replicated back to three channels so model input shapes are unchanged.
+    """
+    rgb = np.asarray(rgb, dtype=np.float32)
+    weights = np.array([0.2989, 0.587, 0.114], dtype=np.float32)
+    gray = rgb @ weights
+    return np.repeat(gray[..., None], 3, axis=-1)

@@ -1,0 +1,46 @@
+"""The connectivity image img_connect (Section 4.2, Figure 4).
+
+Graph(V, E', grids) is rasterized by drawing every net's driver-to-sink
+edges between placed block centers, accumulating intensity where edges
+overlap, then normalizing to [0, 1].  The result is a single-channel image
+with the same spatial dimensions as img_place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpga.netlist import Netlist
+from repro.fpga.placement import Placement
+from repro.viz.layout import FloorplanLayout
+from repro.viz.raster import draw_line_accumulate
+
+
+def render_connectivity(netlist: Netlist, placement: Placement,
+                        layout: FloorplanLayout,
+                        log_compress: bool = True) -> np.ndarray:
+    """Render Graph(V, E', grids) as a (size, size) float image in [0, 1].
+
+    ``log_compress`` applies log1p before normalization so that a few very
+    dense bundles do not crush the rest of the image to black — the same
+    effect as the alpha-blended vector rendering the paper converts from.
+    """
+    size = layout.image_size
+    accumulator = np.zeros((size, size), dtype=np.float32)
+    centers: dict[int, tuple[int, int]] = {}
+    for block in netlist.blocks:
+        centers[block.id] = layout.block_center(
+            placement.site_of[block.id], block.type)
+
+    for net in netlist.nets:
+        x0, y0 = centers[net.driver]
+        for sink in net.sinks:
+            x1, y1 = centers[sink]
+            draw_line_accumulate(accumulator, x0, y0, x1, y1, 1.0)
+
+    if log_compress:
+        accumulator = np.log1p(accumulator)
+    peak = accumulator.max()
+    if peak > 0:
+        accumulator /= peak
+    return accumulator

@@ -1,0 +1,155 @@
+"""Minimal animated-GIF writer (GIF89a, pure Python).
+
+The paper's Section 5.4 demo publishes GIF videos of the congestion forecast
+evolving during placement; :func:`write_gif` produces the same artifact from
+the frame sequence of :func:`repro.flows.realtime.live_forecast`.
+
+Frames are quantized to a fixed 6x7x6 RGB palette (216 colors, web-safe
+style), which preserves the Table 1 scheme and the yellow-to-purple gradient
+well enough for inspection.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+_R_LEVELS, _G_LEVELS, _B_LEVELS = 6, 7, 6
+
+
+def _build_palette() -> np.ndarray:
+    """The fixed 252-entry palette, padded to 256, as (256, 3) uint8."""
+    palette = np.zeros((256, 3), dtype=np.uint8)
+    index = 0
+    for r in range(_R_LEVELS):
+        for g in range(_G_LEVELS):
+            for b in range(_B_LEVELS):
+                palette[index] = (
+                    round(r * 255 / (_R_LEVELS - 1)),
+                    round(g * 255 / (_G_LEVELS - 1)),
+                    round(b * 255 / (_B_LEVELS - 1)),
+                )
+                index += 1
+    return palette
+
+
+_PALETTE = _build_palette()
+
+
+def quantize(frame: np.ndarray) -> np.ndarray:
+    """Map an (H, W, 3) image (float [0,1] or uint8) to palette indices."""
+    frame = np.asarray(frame)
+    if frame.dtype != np.uint8:
+        frame = np.clip(np.rint(frame * 255.0), 0, 255).astype(np.uint8)
+    r = np.rint(frame[..., 0] / 255.0 * (_R_LEVELS - 1)).astype(np.int32)
+    g = np.rint(frame[..., 1] / 255.0 * (_G_LEVELS - 1)).astype(np.int32)
+    b = np.rint(frame[..., 2] / 255.0 * (_B_LEVELS - 1)).astype(np.int32)
+    return ((r * _G_LEVELS + g) * _B_LEVELS + b).astype(np.uint16)
+
+
+def _lzw_encode(indices: np.ndarray, code_size: int) -> bytes:
+    """GIF-variant LZW compression of a flat index stream."""
+    clear_code = 1 << code_size
+    end_code = clear_code + 1
+    max_code = 4096
+
+    out = bytearray()
+    bit_buffer = 0
+    bit_count = 0
+    code_width = code_size + 1
+
+    def emit(code: int, width: int) -> None:
+        nonlocal bit_buffer, bit_count
+        bit_buffer |= code << bit_count
+        bit_count += width
+        while bit_count >= 8:
+            out.append(bit_buffer & 0xFF)
+            bit_buffer >>= 8
+            bit_count -= 8
+
+    table: dict[bytes, int] = {bytes([i]): i for i in range(clear_code)}
+    next_code = end_code + 1
+    emit(clear_code, code_width)
+
+    prefix = b""
+    for value in indices:
+        symbol = bytes([int(value)])
+        candidate = prefix + symbol
+        if candidate in table:
+            prefix = candidate
+            continue
+        emit(table[prefix], code_width)
+        if next_code < max_code:
+            table[candidate] = next_code
+            if next_code == (1 << code_width) and code_width < 12:
+                code_width += 1
+            next_code += 1
+        else:
+            emit(clear_code, code_width)
+            table = {bytes([i]): i for i in range(clear_code)}
+            next_code = end_code + 1
+            code_width = code_size + 1
+        prefix = symbol
+    if prefix:
+        emit(table[prefix], code_width)
+    emit(end_code, code_width)
+    if bit_count:
+        out.append(bit_buffer & 0xFF)
+    return bytes(out)
+
+
+def _blocks(data: bytes) -> bytes:
+    """Chop a byte stream into GIF sub-blocks (<= 255 bytes each)."""
+    out = bytearray()
+    for start in range(0, len(data), 255):
+        chunk = data[start:start + 255]
+        out.append(len(chunk))
+        out.extend(chunk)
+    out.append(0)
+    return bytes(out)
+
+
+def write_gif(path: str | Path, frames: list[np.ndarray],
+              delay_cs: int = 20, loop: bool = True) -> Path:
+    """Write an animated GIF from (H, W, 3) frames.
+
+    ``delay_cs`` is the inter-frame delay in centiseconds; ``loop`` adds the
+    Netscape looping extension.
+    """
+    if not frames:
+        raise ValueError("need at least one frame")
+    height, width = np.asarray(frames[0]).shape[:2]
+    for frame in frames:
+        if np.asarray(frame).shape[:2] != (height, width):
+            raise ValueError("all frames must share one size")
+
+    out = bytearray()
+    out.extend(b"GIF89a")
+    out.extend(struct.pack("<HH", width, height))
+    out.append(0xF7)  # global color table, 8 bits, 256 entries
+    out.append(0)     # background color
+    out.append(0)     # aspect ratio
+    out.extend(_PALETTE.tobytes())
+
+    if loop:
+        out.extend(b"\x21\xFF\x0BNETSCAPE2.0\x03\x01\x00\x00\x00")
+
+    code_size = 8
+    for frame in frames:
+        indices = quantize(frame).ravel()
+        out.extend(b"\x21\xF9\x04\x00")              # graphic control
+        out.extend(struct.pack("<H", delay_cs))
+        out.extend(b"\x00\x00")
+        out.append(0x2C)                              # image descriptor
+        out.extend(struct.pack("<HHHH", 0, 0, width, height))
+        out.append(0x00)                              # no local palette
+        out.append(code_size)
+        out.extend(_blocks(_lzw_encode(indices, code_size)))
+    out.append(0x3B)                                  # trailer
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(bytes(out))
+    return path

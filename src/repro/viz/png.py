@@ -1,0 +1,119 @@
+"""Minimal PNG and PPM writers (plus a reader for files we write).
+
+Supports 8-bit grayscale and RGB, no interlacing — exactly what the
+experiment artifacts need, with zero dependencies beyond ``zlib``.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+_PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    return (struct.pack(">I", len(payload)) + tag + payload
+            + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF))
+
+
+def _to_uint8(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image)
+    if image.dtype == np.uint8:
+        return image
+    return np.clip(np.rint(image * 255.0), 0, 255).astype(np.uint8)
+
+
+def write_png(path: str | Path, image: np.ndarray) -> Path:
+    """Write a (H, W) grayscale or (H, W, 3) RGB image.
+
+    Float images are assumed to be in [0, 1]; uint8 passes through.
+    """
+    data = _to_uint8(image)
+    if data.ndim == 2:
+        color_type = 0
+        row_bytes = data[..., None]
+    elif data.ndim == 3 and data.shape[2] == 3:
+        color_type = 2
+        row_bytes = data
+    else:
+        raise ValueError(f"unsupported image shape {data.shape}")
+
+    height, width = data.shape[:2]
+    raw = b"".join(
+        b"\x00" + row_bytes[row].tobytes() for row in range(height))
+    header = struct.pack(">IIBBBBB", width, height, 8, color_type, 0, 0, 0)
+    blob = (_PNG_SIGNATURE
+            + _chunk(b"IHDR", header)
+            + _chunk(b"IDAT", zlib.compress(raw, 6))
+            + _chunk(b"IEND", b""))
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(blob)
+    return path
+
+
+def read_png(path: str | Path) -> np.ndarray:
+    """Read a PNG produced by :func:`write_png` back into uint8 arrays."""
+    blob = Path(path).read_bytes()
+    if blob[:8] != _PNG_SIGNATURE:
+        raise ValueError(f"{path} is not a PNG file")
+    offset = 8
+    width = height = None
+    color_type = None
+    idat = b""
+    while offset < len(blob):
+        (length,) = struct.unpack(">I", blob[offset:offset + 4])
+        tag = blob[offset + 4:offset + 8]
+        payload = blob[offset + 8:offset + 8 + length]
+        offset += 12 + length
+        if tag == b"IHDR":
+            width, height, depth, color_type, comp, filt, interlace = (
+                struct.unpack(">IIBBBBB", payload))
+            if depth != 8 or interlace != 0 or color_type not in (0, 2):
+                raise ValueError("unsupported PNG variant")
+        elif tag == b"IDAT":
+            idat += payload
+        elif tag == b"IEND":
+            break
+    if width is None or color_type is None:
+        raise ValueError("malformed PNG: missing IHDR")
+    channels = 1 if color_type == 0 else 3
+    raw = zlib.decompress(idat)
+    stride = width * channels
+    rows = []
+    previous = np.zeros(stride, dtype=np.uint8)
+    for row in range(height):
+        start = row * (stride + 1)
+        filter_type = raw[start]
+        line = np.frombuffer(raw[start + 1:start + 1 + stride],
+                             dtype=np.uint8).copy()
+        if filter_type == 0:
+            pass
+        elif filter_type == 2:  # Up
+            line = (line.astype(np.int32) + previous).astype(np.uint8)
+        else:
+            raise ValueError(f"unsupported PNG filter {filter_type}")
+        rows.append(line)
+        previous = line
+    image = np.stack(rows).reshape(height, width, channels)
+    return image[..., 0] if channels == 1 else image
+
+
+def write_ppm(path: str | Path, image: np.ndarray) -> Path:
+    """Write a binary PPM (P6) image; handy for quick shell inspection."""
+    data = _to_uint8(image)
+    if data.ndim == 2:
+        data = np.repeat(data[..., None], 3, axis=-1)
+    if data.ndim != 3 or data.shape[2] != 3:
+        raise ValueError(f"unsupported image shape {data.shape}")
+    height, width = data.shape[:2]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode())
+        handle.write(data.tobytes())
+    return path

@@ -1,0 +1,68 @@
+"""Minimal pure-numpy rasterizer: RGB canvas, rectangles, Bresenham lines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Canvas:
+    """An RGB image buffer with pixel-rect fills.
+
+    Coordinates are ``(col, row)`` pixels with half-open rects
+    ``[x0, x1) x [y0, y1)``; row 0 is the top of the image.
+    """
+
+    def __init__(self, width: int, height: int,
+                 background: np.ndarray | None = None):
+        if width < 1 or height < 1:
+            raise ValueError("canvas must be at least 1x1")
+        self.width = width
+        self.height = height
+        self.pixels = np.ones((height, width, 3), dtype=np.float32)
+        if background is not None:
+            self.pixels[...] = np.asarray(background, dtype=np.float32)
+
+    def fill_rect(self, x0: int, y0: int, x1: int, y1: int,
+                  color: np.ndarray) -> None:
+        """Fill [x0, x1) x [y0, y1), silently clipped to the canvas."""
+        x0, x1 = max(0, x0), min(self.width, x1)
+        y0, y1 = max(0, y0), min(self.height, y1)
+        if x0 >= x1 or y0 >= y1:
+            return
+        self.pixels[y0:y1, x0:x1] = np.asarray(color, dtype=np.float32)
+
+    def to_array(self) -> np.ndarray:
+        """The (height, width, 3) float32 image in [0, 1]."""
+        return self.pixels
+
+    def to_uint8(self) -> np.ndarray:
+        return np.clip(np.rint(self.pixels * 255.0), 0, 255).astype(np.uint8)
+
+
+def draw_line_accumulate(buffer: np.ndarray, x0: int, y0: int,
+                         x1: int, y1: int, intensity: float = 1.0) -> None:
+    """Add ``intensity`` along the Bresenham line into a 2-D buffer.
+
+    Used by the connectivity image: overlapping nets accumulate, so dense
+    bundles of edges show up brighter (the vector-to-bitmap conversion of
+    Section 4.2).
+    """
+    height, width = buffer.shape
+    dx = abs(x1 - x0)
+    dy = -abs(y1 - y0)
+    sx = 1 if x0 < x1 else -1
+    sy = 1 if y0 < y1 else -1
+    err = dx + dy
+    x, y = x0, y0
+    while True:
+        if 0 <= x < width and 0 <= y < height:
+            buffer[y, x] += intensity
+        if x == x1 and y == y1:
+            break
+        e2 = 2 * err
+        if e2 >= dy:
+            err += dy
+            x += sx
+        if e2 <= dx:
+            err += dx
+            y += sy

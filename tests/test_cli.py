@@ -1,0 +1,85 @@
+"""CLI tests (python -m repro)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.gan import Dataset, Pix2Pix
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datagen_args(self):
+        args = build_parser().parse_args(
+            ["datagen", "--design", "SHA", "--out", "x.npz",
+             "--scale", "smoke"])
+        assert args.design == "SHA"
+        assert args.scale == "smoke"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_datagen_writes_dataset(self, tmp_path):
+        out = tmp_path / "data.npz"
+        code = main(["datagen", "--design", "diffeq1", "--placements", "2",
+                     "--out", str(out), "--scale", "smoke", "--seed", "3"])
+        assert code == 0
+        dataset = Dataset.load(out)
+        assert len(dataset) == 2
+        assert dataset[0].design == "diffeq1"
+
+    def test_datagen_unknown_design_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown design"):
+            main(["datagen", "--design", "nonsense",
+                  "--out", str(tmp_path / "x.npz"), "--scale", "smoke"])
+
+    def test_train_then_forecast_roundtrip(self, tmp_path):
+        model_path = tmp_path / "model.npz"
+        code = main(["train", "--designs", "diffeq1", "--epochs", "1",
+                     "--out", str(model_path), "--scale", "smoke",
+                     "--seed", "3"])
+        assert code == 0
+        assert model_path.exists()
+
+        out_dir = tmp_path / "forecast"
+        code = main(["forecast", "--model", str(model_path),
+                     "--design", "diffeq1", "--seed", "3",
+                     "--out", str(out_dir), "--scale", "smoke"])
+        assert code == 0
+        assert (out_dir / "forecast.png").exists()
+        assert (out_dir / "place.png").exists()
+
+    def test_table2_subset(self, capsys, tmp_path):
+        code = main(["table2", "--designs", "diffeq1,diffeq2",
+                     "--scale", "smoke", "--seed", "4",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Acc.1" in out
+        assert "diffeq1" in out and "diffeq2" in out
+
+
+class TestCheckpointing:
+    def test_pix2pix_save_load_roundtrip(self, tmp_path):
+        from repro.gan import Pix2PixConfig
+
+        model = Pix2Pix(Pix2PixConfig(image_size=16, base_filters=4,
+                                      disc_filters=4, seed=2))
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 4, 16, 16)).astype(np.float32)
+        y = np.tanh(rng.normal(size=(1, 3, 16, 16))).astype(np.float32)
+        model.train_step(x, y)
+        expected = model.generate(x, sample_noise=False)
+
+        path = tmp_path / "ckpt.npz"
+        model.save(path)
+        restored = Pix2Pix.load(path)
+        assert restored.config == model.config
+        np.testing.assert_allclose(
+            restored.generate(x, sample_noise=False), expected, atol=1e-6)

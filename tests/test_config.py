@@ -1,0 +1,46 @@
+"""Scale preset tests."""
+
+import pytest
+
+from repro.config import DEFAULT, PAPER, SMOKE, custom_scale, get_scale
+
+
+class TestPresets:
+    def test_paper_preset_matches_publication(self):
+        assert PAPER.image_size == 256          # w = 256
+        assert PAPER.base_filters == 64
+        assert PAPER.epochs == 250              # 250 epochs
+        assert PAPER.placements_per_design == 200
+        assert PAPER.finetune_pairs == 10       # ten transfer pairs
+        assert PAPER.l1_weight == 50.0
+        assert PAPER.connect_weight == 0.1      # lambda
+        assert PAPER.learning_rate == 2e-4
+        assert PAPER.adam_beta1 == 0.5
+        assert PAPER.adam_beta2 == 0.999
+        assert PAPER.adam_eps == 1e-8
+        assert PAPER.batch_size == 1
+        assert PAPER.top_k == 10
+
+    def test_get_scale_by_name(self):
+        assert get_scale("paper") is PAPER
+        assert get_scale("default") is DEFAULT
+        assert get_scale("smoke") is SMOKE
+
+    def test_get_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale() is SMOKE
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            get_scale("gigantic")
+
+    def test_scaled_luts_respects_bounds(self):
+        assert SMOKE.scaled_luts(10_000) == SMOKE.design_max_luts
+        assert SMOKE.scaled_luts(1) == SMOKE.design_min_luts
+        assert PAPER.scaled_luts(563) == 563  # identity at paper scale
+
+    def test_custom_scale_override(self):
+        quick = custom_scale(DEFAULT, epochs=1)
+        assert quick.epochs == 1
+        assert quick.image_size == DEFAULT.image_size
+        assert DEFAULT.epochs != 1  # original untouched (frozen)

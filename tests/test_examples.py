@@ -1,0 +1,71 @@
+"""End-to-end example-script tests (smoke scale, real subprocesses).
+
+Each example must run to completion from a clean interpreter, print its
+report, and leave its artifacts on disk — the contract a downstream user
+experiences first.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, tmp_home: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ, REPRO_SCALE="smoke")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300, env=env,
+        cwd=EXAMPLES_DIR.parent)
+
+
+@pytest.fixture(scope="module")
+def out_dir():
+    return EXAMPLES_DIR / "out"
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path, out_dir):
+        result = run_example("quickstart.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "speedup" in result.stdout
+        assert (out_dir / "quickstart" / "test0_forecast.png").exists()
+
+    def test_paper_figures(self, tmp_path, out_dir):
+        result = run_example("paper_figures.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "channel width factor" in result.stdout
+        for panel in ("fig2a_img_floor", "fig2b_img_place",
+                      "fig2d_img_route", "fig2e_route_minus_place",
+                      "fig4a_img_connect", "fig4b_img_connect"):
+            assert (out_dir / "figures" / f"{panel}.png").exists(), panel
+
+    def test_placement_exploration(self, tmp_path, out_dir):
+        result = run_example("placement_exploration.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "rank correlation" in result.stdout
+        assert (out_dir / "exploration" / "overall-min_forecast.png").exists()
+
+    def test_live_forecast(self, tmp_path, out_dir):
+        result = run_example("live_forecast.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "predicted congestion" in result.stdout
+        gif = out_dir / "realtime" / "live_forecast.gif"
+        assert gif.exists()
+        assert gif.read_bytes()[:6] == b"GIF89a"
+
+    def test_ablation(self, tmp_path, out_dir):
+        result = run_example("ablation_l1_skip.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "L1+skip" in result.stdout
+        assert (out_dir / "ablation" / "truth.png").exists()
+
+    def test_packing_flow(self, tmp_path, out_dir):
+        result = run_example("packing_flow.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "nets absorbed" in result.stdout
+        assert (out_dir / "packing" / "img_route.png").exists()

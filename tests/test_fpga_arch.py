@@ -1,0 +1,123 @@
+"""Architecture model tests: grid geometry, site compatibility, capacities."""
+
+import pytest
+
+from repro.fpga import BlockType, FpgaArchitecture, Site, paper_architecture
+
+
+class TestConstruction:
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            FpgaArchitecture(2, 2)
+
+    def test_rejects_overlapping_special_columns(self):
+        with pytest.raises(ValueError):
+            FpgaArchitecture(8, 8, mem_columns=(3,), mul_columns=(3,))
+
+    def test_rejects_out_of_range_columns(self):
+        with pytest.raises(ValueError):
+            FpgaArchitecture(8, 8, mem_columns=(9,))
+
+    def test_rejects_bad_channel_width(self):
+        with pytest.raises(ValueError):
+            FpgaArchitecture(8, 8, channel_width=0)
+
+    def test_paper_architecture_matches_figure2(self):
+        # Figure 2: 8 columns, memory in column 3, multipliers in column 7.
+        arch = paper_architecture(8)
+        assert arch.column_type(3) is BlockType.MEM
+        assert arch.column_type(7) is BlockType.MUL
+        clb_columns = [x for x in range(1, 9)
+                       if arch.column_type(x) is BlockType.CLB]
+        assert len(clb_columns) == 6
+
+    def test_paper_architecture_pattern_repeats(self):
+        arch = paper_architecture(25)
+        assert arch.column_type(13) is BlockType.MEM
+        assert arch.column_type(17) is BlockType.MUL
+
+
+class TestIoRing:
+    def test_corners_hold_no_pads(self):
+        arch = FpgaArchitecture(4, 4)
+        assert not arch.is_io_tile(0, 0)
+        assert not arch.is_io_tile(5, 5)
+        assert not arch.is_io_tile(0, 5)
+
+    def test_edges_are_io(self):
+        arch = FpgaArchitecture(4, 4)
+        assert arch.is_io_tile(0, 2)
+        assert arch.is_io_tile(5, 3)
+        assert arch.is_io_tile(2, 0)
+        assert arch.is_io_tile(1, 5)
+
+    def test_interior_is_not_io(self):
+        arch = FpgaArchitecture(4, 4)
+        assert not arch.is_io_tile(2, 2)
+
+    def test_io_capacity_eight_ports_per_pad(self):
+        # The paper's architecture: each pad offers eight ports.
+        arch = FpgaArchitecture(4, 4, io_capacity=8)
+        perimeter_pads = 4 * 4  # 4 per side, no corners
+        assert len(arch.io_sites) == perimeter_pads * 8
+
+
+class TestSites:
+    def test_clb_sites_exclude_special_columns(self):
+        arch = FpgaArchitecture(8, 8, mem_columns=(3,), mul_columns=(7,))
+        xs = {site.x for site in arch.clb_sites}
+        assert 3 not in xs and 7 not in xs
+        assert len(arch.clb_sites) == 6 * 8
+
+    def test_macro_sites_are_quantized(self):
+        arch = FpgaArchitecture(8, 8, mem_columns=(3,), mem_height=2)
+        ys = [site.y for site in arch.mem_sites]
+        assert ys == [1, 3, 5, 7]
+
+    def test_macro_sites_do_not_overflow_grid(self):
+        arch = FpgaArchitecture(8, 7, mem_columns=(3,), mem_height=3)
+        for site in arch.mem_sites:
+            assert site.y + arch.mem_height - 1 <= arch.height
+
+    def test_capacity_counts(self):
+        arch = paper_architecture(8)
+        assert arch.capacity(BlockType.CLB) == len(arch.clb_sites)
+        assert arch.capacity(BlockType.IO) == len(arch.io_sites)
+
+
+class TestCompatibility:
+    @pytest.fixture
+    def arch(self):
+        return FpgaArchitecture(8, 8, mem_columns=(3,), mul_columns=(7,),
+                                mem_height=2, mul_height=2)
+
+    def test_clb_in_clb_column(self, arch):
+        assert arch.compatible(BlockType.CLB, Site(1, 1))
+        assert not arch.compatible(BlockType.CLB, Site(3, 1))
+
+    def test_mem_alignment(self, arch):
+        assert arch.compatible(BlockType.MEM, Site(3, 1))
+        assert not arch.compatible(BlockType.MEM, Site(3, 2))  # misaligned
+        assert arch.compatible(BlockType.MEM, Site(3, 3))
+
+    def test_mem_cannot_hang_off_top(self, arch):
+        tall = FpgaArchitecture(8, 7, mem_columns=(3,), mem_height=2)
+        assert not tall.compatible(BlockType.MEM, Site(3, 7))
+
+    def test_io_only_on_ring(self, arch):
+        assert arch.compatible(BlockType.IO, Site(0, 4, subtile=7))
+        assert not arch.compatible(BlockType.IO, Site(0, 4, subtile=8))
+        assert not arch.compatible(BlockType.IO, Site(4, 4))
+
+    def test_interior_subtile_must_be_zero(self, arch):
+        assert not arch.compatible(BlockType.CLB, Site(1, 1, subtile=1))
+
+    def test_site_block_type(self, arch):
+        assert arch.site_block_type(Site(0, 3)) is BlockType.IO
+        assert arch.site_block_type(Site(3, 3)) is BlockType.MEM
+        assert arch.site_block_type(Site(2, 3)) is BlockType.CLB
+
+    def test_every_enumerated_site_is_compatible(self, arch):
+        for block_type in BlockType:
+            for site in arch.sites_for(block_type):
+                assert arch.compatible(block_type, site), (block_type, site)

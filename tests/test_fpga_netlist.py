@@ -1,0 +1,177 @@
+"""Netlist model and synthetic generator tests."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import get_scale
+from repro.fpga import (
+    PAPER_SUITE,
+    Block,
+    BlockType,
+    DesignSpec,
+    Net,
+    Netlist,
+    generate_design,
+    scaled_suite,
+)
+from repro.fpga.generators import minimum_architecture_size
+
+
+def tiny_netlist() -> Netlist:
+    blocks = [
+        Block(0, "in0", BlockType.IO),
+        Block(1, "clb0", BlockType.CLB),
+        Block(2, "clb1", BlockType.CLB),
+        Block(3, "out0", BlockType.IO),
+    ]
+    nets = [
+        Net(0, "n0", 0, (1,)),
+        Net(1, "n1", 1, (2,)),
+        Net(2, "n2", 2, (3, 1)),
+    ]
+    return Netlist("tiny", blocks, nets)
+
+
+class TestNetlistModel:
+    def test_counts(self):
+        netlist = tiny_netlist()
+        assert netlist.num_blocks == 4
+        assert netlist.num_nets == 3
+        assert netlist.count_type(BlockType.CLB) == 2
+        assert netlist.count_type(BlockType.IO) == 2
+
+    def test_nets_of_block_index(self):
+        netlist = tiny_netlist()
+        assert set(netlist.nets_of_block(1)) == {0, 1, 2}
+        assert set(netlist.nets_of_block(3)) == {2}
+
+    def test_average_fanout(self):
+        assert tiny_netlist().average_fanout() == pytest.approx(4 / 3)
+
+    def test_rejects_self_driving_net(self):
+        blocks = [Block(0, "a", BlockType.CLB), Block(1, "b", BlockType.CLB)]
+        with pytest.raises(ValueError, match="drives itself"):
+            Netlist("bad", blocks, [Net(0, "n", 0, (0,))])
+
+    def test_rejects_empty_net(self):
+        blocks = [Block(0, "a", BlockType.CLB)]
+        with pytest.raises(ValueError, match="no sinks"):
+            Netlist("bad", blocks, [Net(0, "n", 0, ())])
+
+    def test_rejects_dangling_reference(self):
+        blocks = [Block(0, "a", BlockType.CLB)]
+        with pytest.raises(ValueError, match="unknown block"):
+            Netlist("bad", blocks, [Net(0, "n", 0, (5,))])
+
+    def test_rejects_non_dense_ids(self):
+        blocks = [Block(1, "a", BlockType.CLB)]
+        with pytest.raises(ValueError, match="dense"):
+            Netlist("bad", blocks, [])
+
+    def test_to_networkx_edges(self):
+        graph = tiny_netlist().to_networkx()
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(2, 3)
+        assert isinstance(graph, nx.DiGraph)
+
+    def test_levelize_monotone_on_dag(self):
+        levels = tiny_netlist().levelize()
+        # Net n2 feeds block 1 back, creating a cycle; levelize must still
+        # terminate and keep the forward chain monotone.
+        assert levels[0] == 0
+        assert levels[3] >= levels[2]
+
+
+class TestPaperSuite:
+    def test_eight_designs_with_published_stats(self):
+        assert len(PAPER_SUITE) == 8
+        by_name = {spec.name: spec for spec in PAPER_SUITE}
+        assert by_name["diffeq1"].num_luts == 563
+        assert by_name["SHA"].num_nets == 10_910
+        assert by_name["bfly"].num_ffs == 1_748
+
+    def test_scaled_suite_preserves_size_ordering(self):
+        scale = get_scale("default")
+        specs = scaled_suite(scale)
+        assert [s.name for s in specs] == [s.name for s in PAPER_SUITE]
+        luts = [s.num_luts for s in specs]
+        paper_luts = [s.num_luts for s in PAPER_SUITE]
+        # Clamping may flatten the extremes but must never invert order.
+        for i in range(len(luts) - 1):
+            if paper_luts[i] < paper_luts[i + 1]:
+                assert luts[i] <= luts[i + 1]
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        spec = DesignSpec("x", 100, 30, 300)
+        a = generate_design(spec, cluster_size=4, seed=7)
+        b = generate_design(spec, cluster_size=4, seed=7)
+        assert [n.terminals for n in a.nets] == [n.terminals for n in b.nets]
+
+    def test_different_seeds_differ(self):
+        spec = DesignSpec("x", 100, 30, 300)
+        a = generate_design(spec, cluster_size=4, seed=1)
+        b = generate_design(spec, cluster_size=4, seed=2)
+        assert [n.terminals for n in a.nets] != [n.terminals for n in b.nets]
+
+    def test_clb_count_matches_packing(self):
+        spec = DesignSpec("x", 100, 30, 300)
+        netlist = generate_design(spec, cluster_size=4, seed=0)
+        assert netlist.count_type(BlockType.CLB) == 25
+
+    def test_absorption_shrinks_external_nets(self):
+        spec = DesignSpec("x", 100, 30, 400)
+        packed = generate_design(spec, cluster_size=4, seed=0, absorption=0.6)
+        flat = generate_design(spec, cluster_size=4, seed=0, absorption=0.0)
+        assert packed.num_nets < flat.num_nets
+        assert packed.num_nets == pytest.approx(400 * 0.4, abs=30)
+
+    def test_contains_all_block_types(self):
+        spec = DesignSpec("x", 200, 50, 600)
+        netlist = generate_design(spec, cluster_size=4, seed=0)
+        for block_type in BlockType:
+            assert netlist.count_type(block_type) >= 1
+
+    def test_stats_carried(self):
+        spec = DesignSpec("x", 123, 45, 300)
+        netlist = generate_design(spec, seed=0)
+        assert netlist.stats.num_luts == 123
+        assert netlist.stats.num_ffs == 45
+
+    def test_invalid_locality_raises(self):
+        with pytest.raises(ValueError):
+            generate_design(DesignSpec("x", 10, 5, 20), locality=1.5)
+
+    def test_invalid_absorption_raises(self):
+        with pytest.raises(ValueError):
+            generate_design(DesignSpec("x", 10, 5, 20), absorption=1.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        luts=st.integers(20, 400),
+        nets=st.integers(50, 800),
+        seed=st.integers(0, 10_000),
+    )
+    def test_generated_netlists_always_validate(self, luts, nets, seed):
+        """Netlist construction re-validates invariants, so surviving the
+        constructor for arbitrary specs/seeds is the property."""
+        spec = DesignSpec("prop", luts, luts // 3, nets)
+        netlist = generate_design(spec, cluster_size=4, seed=seed)
+        assert netlist.num_nets > 0
+        assert netlist.num_blocks > 0
+
+    def test_minimum_architecture_fits(self):
+        spec = DesignSpec("x", 150, 40, 500)
+        netlist = generate_design(spec, cluster_size=4, seed=0)
+        from repro.fpga import paper_architecture
+
+        width = minimum_architecture_size(netlist)
+        arch = paper_architecture(width)
+        assert netlist.count_type(BlockType.CLB) <= arch.capacity(BlockType.CLB)
+        assert netlist.count_type(BlockType.IO) <= arch.capacity(BlockType.IO)
+        assert netlist.count_type(BlockType.MEM) <= arch.capacity(BlockType.MEM)
+        assert netlist.count_type(BlockType.MUL) <= arch.capacity(BlockType.MUL)

@@ -1,0 +1,241 @@
+"""Placement container, cost models, and annealer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga import (
+    BlockType,
+    DesignSpec,
+    Placement,
+    PlacerOptions,
+    SimulatedAnnealingPlacer,
+    generate_design,
+    hpwl_cost,
+    paper_architecture,
+)
+from repro.fpga.arch import Site
+from repro.fpga.placement import (
+    BoundingBoxCost,
+    CongestionAwareCost,
+    CriticalityCost,
+    crossing_count,
+    make_cost_model,
+)
+
+
+@pytest.fixture(scope="module")
+def small_design():
+    spec = DesignSpec("small", 60, 20, 200)
+    return generate_design(spec, cluster_size=4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def arch(small_design):
+    from repro.fpga.generators import minimum_architecture_size
+
+    return paper_architecture(minimum_architecture_size(small_design))
+
+
+class TestCrossingCount:
+    def test_small_nets_uncorrected(self):
+        assert crossing_count(2) == 1.0
+        assert crossing_count(3) == 1.0
+
+    def test_monotone_nondecreasing(self):
+        values = [crossing_count(t) for t in range(1, 80)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_extrapolation_beyond_table(self):
+        assert crossing_count(60) == pytest.approx(2.7933 + 0.02616 * 10)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            crossing_count(-1)
+
+
+class TestPlacement:
+    def test_random_placement_is_legal(self, small_design, arch):
+        placement = Placement.random(small_design, arch,
+                                     np.random.default_rng(0))
+        placement.validate()  # raises on violation
+
+    def test_move_updates_all_stores(self, small_design, arch):
+        placement = Placement.random(small_design, arch,
+                                     np.random.default_rng(0))
+        clb = small_design.blocks_of_type(BlockType.CLB)[0]
+        free = next(site for site in arch.clb_sites
+                    if placement.occupant(site) is None)
+        placement.move(clb.id, free)
+        assert placement.site_of[clb.id] == free
+        assert placement.xs[clb.id] == free.x
+        assert placement.x_list[clb.id] == free.x
+        assert placement.occupant(free) == clb.id
+
+    def test_move_to_occupied_raises(self, small_design, arch):
+        placement = Placement.random(small_design, arch,
+                                     np.random.default_rng(0))
+        clbs = small_design.blocks_of_type(BlockType.CLB)
+        target = placement.site_of[clbs[1].id]
+        with pytest.raises(ValueError, match="occupied"):
+            placement.move(clbs[0].id, target)
+
+    def test_swap_is_involutive(self, small_design, arch):
+        placement = Placement.random(small_design, arch,
+                                     np.random.default_rng(0))
+        clbs = small_design.blocks_of_type(BlockType.CLB)
+        a, b = clbs[0].id, clbs[1].id
+        before = (placement.site_of[a], placement.site_of[b])
+        placement.swap(a, b)
+        placement.swap(a, b)
+        assert (placement.site_of[a], placement.site_of[b]) == before
+        placement.validate()
+
+    def test_copy_is_independent(self, small_design, arch):
+        placement = Placement.random(small_design, arch,
+                                     np.random.default_rng(0))
+        clone = placement.copy()
+        clb = small_design.blocks_of_type(BlockType.CLB)[0]
+        free = next(site for site in arch.clb_sites
+                    if placement.occupant(site) is None)
+        placement.move(clb.id, free)
+        assert clone.site_of[clb.id] != placement.site_of[clb.id]
+
+    def test_io_fill_fraction(self, small_design, arch):
+        placement = Placement.random(small_design, arch,
+                                     np.random.default_rng(0))
+        io_block = small_design.blocks_of_type(BlockType.IO)[0]
+        site = placement.site_of[io_block.id]
+        assert placement.io_fill_fraction(site.x, site.y) >= 1 / arch.io_capacity
+
+    def test_double_booked_site_rejected(self, small_design, arch):
+        placement = Placement.random(small_design, arch,
+                                     np.random.default_rng(0))
+        sites = list(placement.site_of)
+        clbs = small_design.blocks_of_type(BlockType.CLB)
+        sites[clbs[1].id] = sites[clbs[0].id]
+        with pytest.raises(ValueError, match="double-booked"):
+            Placement(small_design, arch, sites)
+
+
+class TestCostModels:
+    def test_hpwl_zero_when_colocated(self):
+        # Two blocks on adjacent tiles: bbox spans are tiny but non-negative.
+        spec = DesignSpec("mini", 8, 2, 20)
+        netlist = generate_design(spec, cluster_size=4, seed=0)
+        # Width 8 guarantees both a memory and a multiplier column exist.
+        arch = paper_architecture(8)
+        placement = Placement.random(netlist, arch, np.random.default_rng(1))
+        assert hpwl_cost(netlist, placement) >= 0.0
+
+    def test_net_cost_matches_manual_bbox(self, small_design, arch):
+        placement = Placement.random(small_design, arch,
+                                     np.random.default_rng(2))
+        model = BoundingBoxCost(small_design, arch)
+        net = small_design.nets[0]
+        xs = placement.xs[list(net.terminals)]
+        ys = placement.ys[list(net.terminals)]
+        expected = crossing_count(net.fanout + 1) * (
+            (xs.max() - xs.min()) + (ys.max() - ys.min()))
+        assert model.net_cost(0, placement) == pytest.approx(float(expected))
+
+    def test_total_is_sum_of_net_costs(self, small_design, arch):
+        placement = Placement.random(small_design, arch,
+                                     np.random.default_rng(2))
+        model = BoundingBoxCost(small_design, arch)
+        manual = sum(model.net_cost(n.id, placement)
+                     for n in small_design.nets)
+        assert model.total(placement) == pytest.approx(manual)
+
+    def test_congestion_cost_at_least_bbox(self, small_design, arch):
+        placement = Placement.random(small_design, arch,
+                                     np.random.default_rng(2))
+        bbox = BoundingBoxCost(small_design, arch)
+        congestion = CongestionAwareCost(small_design, arch)
+        congestion.refresh(placement)
+        assert congestion.total(placement) >= bbox.total(placement) - 1e-9
+
+    def test_criticality_weights_span_dependent(self, small_design, arch):
+        model = CriticalityCost(small_design, arch)
+        assert model.weights.min() >= 1.0
+        assert model.weights.max() > 1.0  # some nets cross levels
+
+    def test_factory_rejects_unknown(self, small_design, arch):
+        with pytest.raises(ValueError, match="unknown place_algorithm"):
+            make_cost_model("gradient_descent", small_design, arch)
+
+
+class TestAnnealer:
+    def test_improves_cost(self, small_design, arch):
+        placer = SimulatedAnnealingPlacer(small_design, arch,
+                                          PlacerOptions(seed=5))
+        result = placer.place()
+        assert result.final_cost < result.initial_cost
+        assert result.improvement > 0.2  # SA should cut HPWL substantially
+
+    def test_result_placement_is_legal(self, small_design, arch):
+        result = SimulatedAnnealingPlacer(
+            small_design, arch, PlacerOptions(seed=5)).place()
+        result.placement.validate()
+
+    def test_deterministic_per_seed(self, small_design, arch):
+        a = SimulatedAnnealingPlacer(small_design, arch,
+                                     PlacerOptions(seed=9)).place()
+        b = SimulatedAnnealingPlacer(small_design, arch,
+                                     PlacerOptions(seed=9)).place()
+        assert a.final_cost == pytest.approx(b.final_cost)
+        assert a.placement.site_of == b.placement.site_of
+
+    def test_seed_changes_result(self, small_design, arch):
+        a = SimulatedAnnealingPlacer(small_design, arch,
+                                     PlacerOptions(seed=1)).place()
+        b = SimulatedAnnealingPlacer(small_design, arch,
+                                     PlacerOptions(seed=2)).place()
+        assert a.placement.site_of != b.placement.site_of
+
+    def test_fixed_alpha_t_cools_faster_with_lower_alpha(self, small_design,
+                                                         arch):
+        fast = SimulatedAnnealingPlacer(
+            small_design, arch,
+            PlacerOptions(seed=3, alpha_t=0.5)).place()
+        slow = SimulatedAnnealingPlacer(
+            small_design, arch,
+            PlacerOptions(seed=3, alpha_t=0.95)).place()
+        assert len(fast.temperatures) < len(slow.temperatures)
+
+    def test_inner_num_scales_moves(self, small_design, arch):
+        small = SimulatedAnnealingPlacer(
+            small_design, arch,
+            PlacerOptions(seed=3, alpha_t=0.6, inner_num=0.25)).place()
+        large = SimulatedAnnealingPlacer(
+            small_design, arch,
+            PlacerOptions(seed=3, alpha_t=0.6, inner_num=1.0)).place()
+        assert large.num_moves > small.num_moves
+
+    @pytest.mark.parametrize("algorithm", [
+        "bounding_box", "congestion_driven", "criticality"])
+    def test_all_place_algorithms_run(self, small_design, arch, algorithm):
+        options = PlacerOptions(seed=4, alpha_t=0.5, inner_num=0.25,
+                                place_algorithm=algorithm)
+        result = SimulatedAnnealingPlacer(small_design, arch, options).place()
+        result.placement.validate()
+        assert result.final_cost <= result.initial_cost
+
+    def test_snapshot_callback_streams_placements(self, small_design, arch):
+        snapshots = []
+        placer = SimulatedAnnealingPlacer(
+            small_design, arch, PlacerOptions(seed=3, alpha_t=0.5,
+                                              inner_num=0.25))
+        placer.place(snapshot_callback=lambda i, t, p: snapshots.append((i, t)))
+        assert len(snapshots) >= 2
+        temperatures = [t for _, t in snapshots]
+        assert all(b <= a for a, b in zip(temperatures, temperatures[1:]))
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_annealing_never_breaks_legality(self, small_design, arch, seed):
+        options = PlacerOptions(seed=seed, alpha_t=0.5, inner_num=0.2,
+                                max_temperatures=10)
+        result = SimulatedAnnealingPlacer(small_design, arch, options).place()
+        result.placement.validate()

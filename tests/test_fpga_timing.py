@@ -1,0 +1,124 @@
+"""Static timing analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.fpga import (
+    Block,
+    BlockType,
+    DesignSpec,
+    Net,
+    Netlist,
+    PathFinderRouter,
+    Placement,
+    PlacerOptions,
+    SimulatedAnnealingPlacer,
+    generate_design,
+    paper_architecture,
+)
+from repro.fpga.arch import Site
+from repro.fpga.generators import minimum_architecture_size
+from repro.fpga.timing import TimingAnalyzer
+
+
+def chain_netlist() -> Netlist:
+    """io -> clb -> clb -> io, a three-net chain with known depth."""
+    blocks = [
+        Block(0, "in", BlockType.IO),
+        Block(1, "a", BlockType.CLB),
+        Block(2, "b", BlockType.CLB),
+        Block(3, "out", BlockType.IO),
+    ]
+    nets = [
+        Net(0, "n0", 0, (1,)),
+        Net(1, "n1", 1, (2,)),
+        Net(2, "n2", 2, (3,)),
+    ]
+    return Netlist("chain", blocks, nets)
+
+
+@pytest.fixture
+def chain_placed():
+    netlist = chain_netlist()
+    arch = paper_architecture(4, channel_width=8)
+    sites = [Site(0, 1, 0), Site(1, 1), Site(2, 1), Site(5, 1, 0)]
+    return netlist, arch, Placement(netlist, arch, sites)
+
+
+class TestAnalyzer:
+    def test_chain_delay_is_sum_of_edges(self, chain_placed):
+        netlist, arch, placement = chain_placed
+        analyzer = TimingAnalyzer(netlist, placement, logic_delay=1.0,
+                                  wire_delay=0.1)
+        report = analyzer.report()
+        # Edges: (0,1)->(1,1) dist 1; (1,1)->(2,1) dist 1; (2,1)->(5,1) dist 3.
+        assert report.critical_delay == pytest.approx(3 * 1.0 + 0.1 * 5)
+        assert report.critical_path == (0, 1, 2, 3)
+
+    def test_arrival_monotone_along_path(self, chain_placed):
+        netlist, arch, placement = chain_placed
+        arrivals = TimingAnalyzer(netlist, placement).arrival_times()
+        assert arrivals[0] < arrivals[1] < arrivals[2] < arrivals[3]
+
+    def test_zero_wire_delay_counts_logic_levels(self, chain_placed):
+        netlist, arch, placement = chain_placed
+        analyzer = TimingAnalyzer(netlist, placement, logic_delay=1.0,
+                                  wire_delay=0.0)
+        assert analyzer.report().critical_delay == pytest.approx(3.0)
+
+    def test_routed_delay_uses_tree_size(self, chain_placed):
+        netlist, arch, placement = chain_placed
+        routing = PathFinderRouter(netlist, arch, placement).route()
+        placed_only = TimingAnalyzer(netlist, placement).report()
+        routed = TimingAnalyzer(netlist, placement,
+                                routing=routing).report()
+        # Routed trees are at least as long as Manhattan distance.
+        assert routed.critical_delay >= placed_only.critical_delay - 1e-9
+
+    def test_handles_cyclic_netlists(self):
+        blocks = [Block(0, "a", BlockType.CLB), Block(1, "b", BlockType.CLB)]
+        nets = [Net(0, "f", 0, (1,)), Net(1, "g", 1, (0,))]
+        netlist = Netlist("loop", blocks, nets)
+        arch = paper_architecture(4, channel_width=8)
+        placement = Placement(netlist, arch, [Site(1, 1), Site(1, 2)])
+        report = TimingAnalyzer(netlist, placement).report()
+        assert np.isfinite(report.critical_delay)
+
+    def test_spread_placement_has_longer_paths(self):
+        """Wire delay must respond to placement quality."""
+        spec = DesignSpec("timing", 60, 20, 180)
+        netlist = generate_design(spec, cluster_size=4, seed=4)
+        arch = paper_architecture(minimum_architecture_size(netlist),
+                                  channel_width=16)
+        good = SimulatedAnnealingPlacer(
+            netlist, arch, PlacerOptions(seed=1)).place().placement
+        bad = Placement.random(netlist, arch, np.random.default_rng(0))
+        good_delay = TimingAnalyzer(netlist, good).report().critical_delay
+        bad_delay = TimingAnalyzer(netlist, bad).report().critical_delay
+        assert good_delay <= bad_delay
+
+    def test_criticality_mode_shortens_critical_path(self):
+        """The paper sweeps place_algorithm; the timing-driven stand-in
+        should produce equal-or-better critical delay than pure wirelength
+        (averaged over seeds to damp SA noise)."""
+        spec = DesignSpec("crit", 80, 24, 240)
+        netlist = generate_design(spec, cluster_size=4, seed=9)
+        arch = paper_architecture(minimum_architecture_size(netlist),
+                                  channel_width=16)
+
+        def mean_delay(algorithm: str) -> float:
+            delays = []
+            for seed in (1, 2, 3):
+                placed = SimulatedAnnealingPlacer(
+                    netlist, arch,
+                    PlacerOptions(seed=seed,
+                                  place_algorithm=algorithm)).place()
+                delays.append(TimingAnalyzer(
+                    netlist, placed.placement).report().critical_delay)
+            return float(np.mean(delays))
+
+        crit = mean_delay("criticality")
+        bbox = mean_delay("bounding_box")
+        # Allow a small margin: SA is stochastic, but criticality weighting
+        # must not be systematically worse.
+        assert crit <= bbox * 1.10

@@ -1,0 +1,239 @@
+"""Dataset container, normalization, and metric tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gan import (
+    Dataset,
+    Sample,
+    image_congestion_score,
+    make_input_stack,
+    per_pixel_accuracy,
+    speedup,
+    top_k_overlap,
+)
+from repro.gan.dataset import (
+    from_unit_range,
+    input_from_images,
+    target_from_image,
+    to_unit_range,
+)
+from repro.gan.metrics import regional_congestion_score
+from repro.viz.colors import utilization_to_rgb
+
+
+def make_sample(design="d", size=8, seed=0, congestion=0.5) -> Sample:
+    rng = np.random.default_rng(seed)
+    return Sample(
+        design=design,
+        x=rng.normal(size=(4, size, size)).astype(np.float32),
+        y=np.tanh(rng.normal(size=(3, size, size))).astype(np.float32),
+        true_congestion=congestion,
+        placer_options={"seed": seed, "alpha_t": None, "inner_num": 1.0,
+                        "place_algorithm": "bounding_box"},
+        route_seconds=0.5,
+        place_seconds=1.0,
+    )
+
+
+class TestNormalization:
+    def test_unit_range_roundtrip(self):
+        image = np.random.default_rng(0).random((4, 4, 3)).astype(np.float32)
+        np.testing.assert_allclose(from_unit_range(to_unit_range(image)),
+                                   image, atol=1e-6)
+
+    def test_input_stack_shape_and_scaling(self):
+        place = np.full((8, 8, 3), 0.5, dtype=np.float32)
+        connect = np.full((8, 8), 1.0, dtype=np.float32)
+        x = make_input_stack(place, connect, connect_weight=0.1)
+        assert x.shape == (4, 8, 8)
+        np.testing.assert_allclose(x[:3], 0.0, atol=1e-6)   # 0.5 -> 0
+        np.testing.assert_allclose(x[3], 0.1, atol=1e-6)    # lambda * (+1)
+
+    def test_input_stack_validates_shapes(self):
+        with pytest.raises(ValueError):
+            make_input_stack(np.zeros((8, 8)), np.zeros((8, 8)))
+        with pytest.raises(ValueError):
+            make_input_stack(np.zeros((8, 8, 3)), np.zeros((4, 4)))
+
+    def test_batched_input(self):
+        x = input_from_images(np.zeros((8, 8, 3)), np.zeros((8, 8)))
+        assert x.shape == (1, 4, 8, 8)
+
+    def test_target_is_chw(self):
+        y = target_from_image(np.zeros((8, 8, 3)))
+        assert y.shape == (3, 8, 8)
+        np.testing.assert_allclose(y, -1.0)
+
+
+class TestDataset:
+    def test_leave_one_out_split(self):
+        data = Dataset([make_sample("a", seed=1), make_sample("b", seed=2),
+                        make_sample("a", seed=3)])
+        train, test = data.leave_one_out("a")
+        assert len(test) == 2 and len(train) == 1
+        assert all(s.design == "a" for s in test)
+        assert all(s.design != "a" for s in train)
+
+    def test_leave_one_out_missing_raises(self):
+        data = Dataset([make_sample("a")])
+        with pytest.raises(ValueError):
+            data.leave_one_out("zzz")
+
+    def test_designs_ordered_unique(self):
+        data = Dataset([make_sample("b"), make_sample("a"), make_sample("b")])
+        assert data.designs == ["b", "a"]
+
+    def test_slicing_returns_dataset(self):
+        data = Dataset([make_sample(seed=i) for i in range(5)])
+        head = data[:2]
+        assert isinstance(head, Dataset)
+        assert len(head) == 2
+
+    def test_shuffled_preserves_multiset(self):
+        data = Dataset([make_sample(seed=i) for i in range(6)])
+        shuffled = data.shuffled(np.random.default_rng(0))
+        assert sorted(id(s) for s in data) == sorted(id(s) for s in shuffled)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        data = Dataset([make_sample("a", seed=1, congestion=0.25),
+                        make_sample("b", seed=2, congestion=0.75)])
+        path = tmp_path / "data.npz"
+        data.save(path)
+        loaded = Dataset.load(path)
+        assert len(loaded) == 2
+        np.testing.assert_allclose(loaded[0].x, data[0].x)
+        np.testing.assert_allclose(loaded[1].y, data[1].y)
+        assert loaded[0].design == "a"
+        assert loaded[0].true_congestion == 0.25
+        assert loaded[0].placer_options["place_algorithm"] == "bounding_box"
+
+    def test_sample_image_views(self):
+        sample = make_sample()
+        assert sample.y_image.shape == (8, 8, 3)
+        assert sample.place_image.shape == (8, 8, 3)
+        assert sample.y_image.min() >= 0 and sample.y_image.max() <= 1
+
+
+class TestPerPixelAccuracy:
+    def test_identical_is_one(self):
+        image = np.random.default_rng(0).random((8, 8, 3))
+        assert per_pixel_accuracy(image, image) == 1.0
+
+    def test_all_wrong_is_zero(self):
+        a = np.zeros((4, 4, 3))
+        b = np.ones((4, 4, 3))
+        assert per_pixel_accuracy(a, b) == 0.0
+
+    def test_tolerance_boundary(self):
+        a = np.zeros((1, 1, 3))
+        b = np.full((1, 1, 3), 16.0 / 255.0)
+        assert per_pixel_accuracy(a, b) == 1.0
+        c = np.full((1, 1, 3), 17.0 / 255.0)
+        assert per_pixel_accuracy(a, c) == 0.0
+
+    def test_worst_channel_counts(self):
+        a = np.zeros((1, 1, 3))
+        b = np.array([[[0.0, 0.0, 0.5]]])
+        assert per_pixel_accuracy(a, b) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            per_pixel_accuracy(np.zeros((2, 2, 3)), np.zeros((3, 3, 3)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), tol=st.floats(0.0, 0.5))
+    def test_bounded_and_monotone_in_tolerance(self, seed, tol):
+        rng = np.random.default_rng(seed)
+        a = rng.random((6, 6, 3))
+        b = rng.random((6, 6, 3))
+        acc = per_pixel_accuracy(a, b, tol)
+        assert 0.0 <= acc <= 1.0
+        assert per_pixel_accuracy(a, b, tol + 0.1) >= acc
+
+
+class TestCongestionScores:
+    def test_decodes_painted_utilization(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, :] = True
+        image = np.zeros((4, 4, 3), dtype=np.float32)
+        image[0, :] = utilization_to_rgb(0.3)
+        assert image_congestion_score(image, mask) == pytest.approx(0.3,
+                                                                    abs=1e-5)
+
+    def test_requires_boolean_mask(self):
+        with pytest.raises(ValueError):
+            image_congestion_score(np.zeros((2, 2, 3)),
+                                   np.zeros((2, 2), dtype=int))
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            image_congestion_score(np.zeros((2, 2, 3)),
+                                   np.zeros((2, 2), dtype=bool))
+
+    def test_regional_restriction(self):
+        mask = np.ones((4, 4), dtype=bool)
+        image = np.zeros((4, 4, 3), dtype=np.float32)
+        image[:2] = utilization_to_rgb(0.9)
+        image[2:] = utilization_to_rgb(0.1)
+        top = np.zeros((4, 4), dtype=bool)
+        top[:2] = True
+        assert regional_congestion_score(image, mask, top) == pytest.approx(
+            0.9, abs=1e-5)
+
+    def test_region_without_channels_raises(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = True
+        region = np.zeros((4, 4), dtype=bool)
+        region[3, 3] = True
+        with pytest.raises(ValueError):
+            regional_congestion_score(np.zeros((4, 4, 3)), mask, region)
+
+
+class TestTopK:
+    def test_perfect_prediction(self):
+        scores = np.arange(20.0)
+        assert top_k_overlap(scores, scores, k=10) == 1.0
+
+    def test_reversed_prediction(self):
+        true = np.arange(20.0)
+        assert top_k_overlap(-true, true, k=10) == 0.0
+
+    def test_partial_overlap(self):
+        true = np.arange(10.0)
+        predicted = true.copy()
+        predicted[0] = 100.0  # demote the truly-best item
+        # Predicted top-3: {1, 2, 3}; true top-3: {0, 1, 2} -> 2/3 overlap.
+        assert top_k_overlap(predicted, true, k=3) == pytest.approx(2 / 3)
+
+    def test_k_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            top_k_overlap(np.arange(5.0), np.arange(5.0), k=6)
+        with pytest.raises(ValueError):
+            top_k_overlap(np.arange(5.0), np.arange(5.0), k=0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            top_k_overlap(np.arange(4.0), np.arange(5.0), k=2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), k=st.integers(1, 8))
+    def test_bounds_property(self, seed, k):
+        rng = np.random.default_rng(seed)
+        predicted = rng.random(16)
+        true = rng.random(16)
+        overlap = top_k_overlap(predicted, true, k=k)
+        assert 0.0 <= overlap <= 1.0
+        # Overlap is in units of 1/k.
+        assert (overlap * k) == pytest.approx(round(overlap * k))
+
+
+class TestSpeedup:
+    def test_simple_ratio(self):
+        assert speedup(9.0, 0.09) == pytest.approx(100.0)
+
+    def test_zero_inference_raises(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)

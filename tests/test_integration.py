@@ -1,0 +1,92 @@
+"""End-to-end integration: netlist -> place -> route -> images -> cGAN.
+
+Exercises every subsystem in one pipeline at smoke scale, asserting the
+cross-module contracts the experiments rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SMOKE
+from repro.flows import build_design_bundle
+from repro.fpga import PathFinderRouter, Placement
+from repro.fpga.generators import scaled_suite
+from repro.gan import (
+    Pix2Pix,
+    Pix2PixConfig,
+    Pix2PixTrainer,
+    image_congestion_score,
+    per_pixel_accuracy,
+)
+from repro.gan.dataset import input_from_images
+from repro.viz import render_connectivity, render_placement
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    spec = scaled_suite(SMOKE)[0]
+    return build_design_bundle(spec, SMOKE, num_placements=4, seed=9)
+
+
+class TestPipeline:
+    def test_truth_images_encode_congestion_ordering(self, bundle):
+        """The rendered ground truth must preserve the routed congestion
+        ranking for distinctly separated placements — otherwise the Top10
+        metric is meaningless.  (Near-ties inside the pixel-quantization
+        noise floor are allowed to flip.)"""
+        decoded = [
+            image_congestion_score(s.y_image, bundle.channel_mask)
+            for s in bundle.dataset
+        ]
+        truth = [min(s.true_congestion, 1.0) for s in bundle.dataset]
+        for i in range(len(truth)):
+            for j in range(len(truth)):
+                if truth[i] - truth[j] > 0.015:
+                    assert decoded[i] > decoded[j], (i, j)
+        # And the decode itself is tight.
+        for d, t in zip(decoded, truth):
+            assert d == pytest.approx(t, abs=0.01)
+
+    def test_model_trains_on_bundle(self, bundle):
+        model = Pix2Pix(Pix2PixConfig.from_scale(
+            SMOKE, image_size=bundle.layout.image_size, seed=1))
+        trainer = Pix2PixTrainer(model, seed=1)
+        history = trainer.fit(bundle.dataset, epochs=3)
+        assert history.g_l1[-1] < history.g_l1[0]
+
+    def test_forecast_pipeline_from_raw_placement(self, bundle):
+        """Inference path used by the real-time application: render a fresh
+        placement and push it through the generator."""
+        placement = Placement.random(bundle.netlist, bundle.arch,
+                                     np.random.default_rng(123))
+        place_image = render_placement(placement, bundle.layout)
+        connect = render_connectivity(bundle.netlist, placement,
+                                      bundle.layout)
+        x = input_from_images(place_image, connect,
+                              SMOKE.connect_weight)
+        model = Pix2Pix(Pix2PixConfig.from_scale(
+            SMOKE, image_size=bundle.layout.image_size))
+        forecast = model.generate(x)
+        assert forecast.shape == (1, 3, bundle.layout.image_size,
+                                  bundle.layout.image_size)
+
+    def test_routing_ground_truth_is_reproducible(self, bundle):
+        """Same placement, same router -> identical utilization map."""
+        placement = bundle.placements[0]
+        a = PathFinderRouter(bundle.netlist, bundle.arch, placement).route()
+        b = PathFinderRouter(bundle.netlist, bundle.arch, placement).route()
+        np.testing.assert_array_equal(a.occupancy, b.occupancy)
+
+    def test_accuracy_of_truth_vs_itself_is_one(self, bundle):
+        sample = bundle.dataset[0]
+        assert per_pixel_accuracy(sample.y_image, sample.y_image) == 1.0
+
+    def test_input_contains_placement_and_connectivity(self, bundle):
+        """x = stack(img_place, lambda * img_connect): RGB channels carry the
+        placement structure, channel 3 the connectivity."""
+        sample = bundle.dataset[0]
+        place_rgb = sample.x[:3]
+        connect = sample.x[3]
+        assert place_rgb.std() > 0.05
+        # Connectivity channel is bounded by lambda.
+        assert np.abs(connect).max() <= SMOKE.connect_weight + 1e-6

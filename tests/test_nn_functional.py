@@ -1,0 +1,105 @@
+"""Tests for im2col/col2im packing and activation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    col2im,
+    conv2d_output_size,
+    conv_transpose2d_output_size,
+    im2col,
+    leaky_relu,
+    sigmoid,
+)
+
+
+class TestOutputSizes:
+    def test_conv_halves_with_k4_s2_p1(self):
+        assert conv2d_output_size(256, 4, 2, 1) == 128
+        assert conv2d_output_size(64, 4, 2, 1) == 32
+        assert conv2d_output_size(2, 4, 2, 1) == 1
+
+    def test_conv_transpose_doubles_with_k4_s2_p1(self):
+        assert conv_transpose2d_output_size(128, 4, 2, 1) == 256
+        assert conv_transpose2d_output_size(1, 4, 2, 1) == 2
+
+    def test_conv_stride1_k4_p1_shrinks_by_one(self):
+        # The discriminator's final layers: 32 -> 31 -> 30 in the paper.
+        assert conv2d_output_size(32, 4, 1, 1) == 31
+        assert conv2d_output_size(31, 4, 1, 1) == 30
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            conv2d_output_size(2, 4, 2, 0)
+        with pytest.raises(ValueError):
+            conv_transpose2d_output_size(1, 2, 4, 1)
+
+    def test_roundtrip_inverse(self):
+        for size in (2, 4, 8, 32, 128):
+            down = conv2d_output_size(size, 4, 2, 1)
+            assert conv_transpose2d_output_size(down, 4, 2, 1) == size
+
+
+class TestIm2Col:
+    def test_identity_kernel1(self):
+        x = np.arange(2 * 3 * 4 * 4, dtype=np.float32).reshape(2, 3, 4, 4)
+        col = im2col(x, kernel=1, stride=1, pad=0)
+        assert col.shape == (2 * 16, 3)
+        # Row 0 is the pixel at (0, 0) across channels.
+        np.testing.assert_array_equal(col[0], x[0, :, 0, 0])
+
+    def test_known_window_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        col = im2col(x, kernel=2, stride=2, pad=0)
+        assert col.shape == (4, 4)
+        np.testing.assert_array_equal(col[0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(col[3], [10, 11, 14, 15])
+
+    def test_padding_inserts_zeros(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        col = im2col(x, kernel=2, stride=2, pad=1)
+        # Four windows, each has exactly one real pixel.
+        assert col.shape == (4, 4)
+        assert col.sum() == 4.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 2),
+        c=st.integers(1, 3),
+        size=st.sampled_from([4, 6, 8]),
+        kernel=st.sampled_from([1, 2, 3, 4]),
+        stride=st.sampled_from([1, 2]),
+        pad=st.sampled_from([0, 1]),
+    )
+    def test_col2im_is_adjoint_of_im2col(self, n, c, size, kernel, stride, pad):
+        """<im2col(x), y> == <x, col2im(y)> for all x, y — the exactness
+        property that makes conv backward correct."""
+        if (size + 2 * pad - kernel) < 0:
+            return
+        rng = np.random.default_rng(42)
+        x = rng.normal(size=(n, c, size, size))
+        col = im2col(x, kernel, stride, pad)
+        y = rng.normal(size=col.shape)
+        lhs = float((col * y).sum())
+        rhs = float((x * col2im(y, x.shape, kernel, stride, pad)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+class TestActivations:
+    def test_sigmoid_extremes_are_stable(self):
+        x = np.array([-1000.0, 0.0, 1000.0])
+        y = sigmoid(x)
+        assert y[0] == pytest.approx(0.0)
+        assert y[1] == pytest.approx(0.5)
+        assert y[2] == pytest.approx(1.0)
+        assert np.all(np.isfinite(y))
+
+    def test_sigmoid_symmetry(self):
+        x = np.linspace(-8, 8, 33)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), 1.0, atol=1e-12)
+
+    def test_leaky_relu_values(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_allclose(leaky_relu(x, 0.2), [-0.4, 0.0, 3.0])

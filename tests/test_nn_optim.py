@@ -1,0 +1,83 @@
+"""Optimizer behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD
+from repro.nn.layers import Parameter
+
+
+def quadratic_grad(param: Parameter, target: float = 3.0) -> None:
+    """Gradient of 0.5 * (x - target)^2."""
+    param.grad[...] = param.data - target
+
+
+class TestSGD:
+    def test_single_step(self):
+        param = Parameter(np.array([0.0], dtype=np.float32))
+        opt = SGD([param], lr=0.1)
+        quadratic_grad(param)
+        opt.step()
+        assert param.data[0] == pytest.approx(0.3)
+
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([10.0], dtype=np.float32))
+        opt = SGD([param], lr=0.5)
+        for _ in range(50):
+            opt.zero_grad()
+            quadratic_grad(param)
+            opt.step()
+        assert param.data[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.array([10.0], dtype=np.float32))
+        heavy = Parameter(np.array([10.0], dtype=np.float32))
+        opt_plain = SGD([plain], lr=0.05)
+        opt_heavy = SGD([heavy], lr=0.05, momentum=0.9)
+        for _ in range(20):
+            quadratic_grad(plain)
+            opt_plain.step()
+            plain.zero_grad()
+            quadratic_grad(heavy)
+            opt_heavy.step()
+            heavy.zero_grad()
+        assert abs(heavy.data[0] - 3.0) < abs(plain.data[0] - 3.0)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_paper_defaults(self):
+        opt = Adam([Parameter(np.zeros(1))])
+        assert opt.lr == pytest.approx(2e-4)
+        assert opt.beta1 == pytest.approx(0.5)
+        assert opt.beta2 == pytest.approx(0.999)
+        assert opt.eps == pytest.approx(1e-8)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction the very first Adam step has magnitude ~lr.
+        param = Parameter(np.array([1.0], dtype=np.float32))
+        opt = Adam([param], lr=0.1)
+        param.grad[...] = 123.0
+        opt.step()
+        assert param.data[0] == pytest.approx(0.9, abs=1e-4)
+
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([10.0], dtype=np.float32))
+        opt = Adam([param], lr=0.3)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_grad(param)
+            opt.step()
+        assert param.data[0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_zero_grad_clears_all(self):
+        params = [Parameter(np.ones(3)), Parameter(np.ones(2))]
+        opt = Adam(params)
+        for param in params:
+            param.grad[...] = 5.0
+        opt.zero_grad()
+        for param in params:
+            np.testing.assert_array_equal(param.grad, 0.0)

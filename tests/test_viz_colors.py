@@ -1,0 +1,101 @@
+"""Color scheme, gradient, and grayscale conversion tests (Table 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.viz import (
+    COLOR_SCHEME,
+    decode_utilization,
+    rgb_to_grayscale,
+    utilization_to_rgb,
+)
+from repro.viz.colors import gradient_distance
+
+
+class TestScheme:
+    def test_table1_colors_are_distinct(self):
+        """Table 1 requires elements be differentiable by RGB distance."""
+        scheme = COLOR_SCHEME
+        named = [scheme.white, scheme.lightblue, scheme.pink,
+                 scheme.lightyellow, scheme.black, scheme.io_pad]
+        for i, a in enumerate(named):
+            for b in named[i + 1:]:
+                assert np.linalg.norm(a - b) > 0.1
+
+    def test_gradient_endpoints(self):
+        np.testing.assert_allclose(utilization_to_rgb(0.0),
+                                   COLOR_SCHEME.gradient_low)
+        np.testing.assert_allclose(utilization_to_rgb(1.0),
+                                   COLOR_SCHEME.gradient_high)
+
+    def test_gradient_clips_overuse(self):
+        # Overused channels (utilization > 1) saturate at purple.
+        np.testing.assert_allclose(utilization_to_rgb(1.7),
+                                   COLOR_SCHEME.gradient_high)
+        np.testing.assert_allclose(utilization_to_rgb(-0.2),
+                                   COLOR_SCHEME.gradient_low)
+
+    def test_gradient_is_linear_midpoint(self):
+        mid = utilization_to_rgb(0.5)
+        expected = (COLOR_SCHEME.gradient_low + COLOR_SCHEME.gradient_high) / 2
+        np.testing.assert_allclose(mid, expected, atol=1e-6)
+
+
+class TestDecode:
+    @settings(max_examples=50, deadline=None)
+    @given(u=st.floats(0.0, 1.0))
+    def test_roundtrip_on_gradient(self, u):
+        rgb = utilization_to_rgb(u)
+        decoded = float(decode_utilization(rgb))
+        assert decoded == pytest.approx(u, abs=1e-5)
+
+    def test_vectorized_roundtrip(self):
+        u = np.linspace(0, 1, 64).reshape(8, 8)
+        rgb = utilization_to_rgb(u)
+        assert rgb.shape == (8, 8, 3)
+        np.testing.assert_allclose(decode_utilization(rgb), u, atol=1e-5)
+
+    def test_off_gradient_color_projects(self):
+        # A color near the middle of the gradient decodes to ~0.5.
+        noisy = utilization_to_rgb(0.5) + np.array([0.02, -0.02, 0.01],
+                                                   dtype=np.float32)
+        assert float(decode_utilization(noisy)) == pytest.approx(0.5, abs=0.1)
+
+    def test_gradient_distance_zero_on_gradient(self):
+        rgb = utilization_to_rgb(np.linspace(0, 1, 16))
+        np.testing.assert_allclose(gradient_distance(rgb), 0.0, atol=1e-5)
+
+    def test_gradient_distance_positive_off_gradient(self):
+        assert float(gradient_distance(COLOR_SCHEME.lightblue)) > 0.1
+
+
+class TestGrayscale:
+    def test_weights_match_itu601(self):
+        red = np.zeros((1, 1, 3), dtype=np.float32)
+        red[..., 0] = 1.0
+        assert rgb_to_grayscale(red)[0, 0, 0] == pytest.approx(0.2989)
+
+    def test_preserves_three_channels(self):
+        rgb = np.random.default_rng(0).random((4, 4, 3)).astype(np.float32)
+        gray = rgb_to_grayscale(rgb)
+        assert gray.shape == (4, 4, 3)
+        np.testing.assert_allclose(gray[..., 0], gray[..., 1])
+        np.testing.assert_allclose(gray[..., 1], gray[..., 2])
+
+    def test_gray_input_is_fixed_point(self):
+        gray_value = np.full((2, 2, 3), 0.42, dtype=np.float32)
+        np.testing.assert_allclose(rgb_to_grayscale(gray_value), gray_value,
+                                   atol=1e-3)
+
+    def test_collapses_gradient_contrast(self):
+        """Why the paper's grayscale ablation loses accuracy: distinct
+        utilizations map to much closer grayscale values."""
+        lo = utilization_to_rgb(0.2)
+        hi = utilization_to_rgb(0.8)
+        rgb_distance = float(np.linalg.norm(lo - hi))
+        gray_distance = float(np.linalg.norm(
+            rgb_to_grayscale(lo.reshape(1, 1, 3))
+            - rgb_to_grayscale(hi.reshape(1, 1, 3))))
+        assert gray_distance < rgb_distance

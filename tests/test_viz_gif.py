@@ -1,0 +1,74 @@
+"""Animated GIF writer tests."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.viz.gif import _PALETTE, quantize, write_gif
+
+
+class TestQuantize:
+    def test_indices_in_palette_range(self):
+        rng = np.random.default_rng(0)
+        frame = rng.random((8, 8, 3)).astype(np.float32)
+        indices = quantize(frame)
+        assert indices.max() < 252
+        assert indices.min() >= 0
+
+    def test_quantization_error_bounded(self):
+        rng = np.random.default_rng(1)
+        frame = (rng.random((16, 16, 3)) * 255).astype(np.uint8)
+        indices = quantize(frame)
+        restored = _PALETTE[indices]
+        # 6/7/6 levels: max error is half a level step.
+        assert np.abs(restored.astype(int) - frame.astype(int)).max() <= 26
+
+    def test_primary_colors_exact(self):
+        frame = np.zeros((1, 3, 3), dtype=np.uint8)
+        frame[0, 0] = (255, 0, 0)
+        frame[0, 1] = (0, 0, 0)
+        frame[0, 2] = (255, 255, 255)
+        restored = _PALETTE[quantize(frame)]
+        np.testing.assert_array_equal(restored, frame)
+
+
+class TestWriteGif:
+    def test_header_and_dimensions(self, tmp_path):
+        frames = [np.zeros((4, 6, 3), dtype=np.uint8)] * 2
+        path = write_gif(tmp_path / "x.gif", frames)
+        blob = path.read_bytes()
+        assert blob[:6] == b"GIF89a"
+        width, height = struct.unpack("<HH", blob[6:10])
+        assert (width, height) == (6, 4)
+        assert blob[-1] == 0x3B  # trailer
+
+    def test_frame_count_encoded(self, tmp_path):
+        frames = [np.full((4, 4, 3), i * 40, dtype=np.uint8)
+                  for i in range(5)]
+        path = write_gif(tmp_path / "multi.gif", frames)
+        blob = path.read_bytes()
+        # One image descriptor (0x2C at a block boundary) per frame; count
+        # graphic-control extensions instead (unambiguous marker).
+        assert blob.count(b"\x21\xF9\x04") == 5
+
+    def test_empty_frames_raise(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_gif(tmp_path / "x.gif", [])
+
+    def test_mismatched_sizes_raise(self, tmp_path):
+        frames = [np.zeros((4, 4, 3)), np.zeros((5, 4, 3))]
+        with pytest.raises(ValueError):
+            write_gif(tmp_path / "x.gif", frames)
+
+    def test_float_frames_accepted(self, tmp_path):
+        frames = [np.random.default_rng(0).random((8, 8, 3))]
+        path = write_gif(tmp_path / "f.gif", frames, loop=False)
+        assert path.stat().st_size > 100
+
+    def test_compression_beats_raw_on_flat_frames(self, tmp_path):
+        frames = [np.zeros((32, 32, 3), dtype=np.uint8)] * 3
+        path = write_gif(tmp_path / "flat.gif", frames)
+        raw_size = 3 * 32 * 32
+        # Palette alone is 768 bytes; LZW must crush the flat image data.
+        assert path.stat().st_size < 768 + 200 + raw_size // 8
