@@ -1,0 +1,101 @@
+"""E11 — serving throughput: micro-batching and the forecast cache.
+
+Drives the :mod:`repro.serve` engine with a fixed request load at batch
+caps 1 / 4 / 16 and measures end-to-end throughput, then measures the
+cache-hit fast path.  The paper's speedup claim (Section 5.1) is about one
+forecast versus one routing run; this bench quantifies the serving-side
+multipliers on top: batching amortizes per-forward overhead, and the
+content-addressed cache makes repeated queries (annealer snapshots that
+barely move, re-scored exploration candidates) nearly free.
+"""
+
+import time
+
+import numpy as np
+from conftest import write_result
+
+from repro.serve import BatchingEngine, ForecastCache, ModelRegistry
+
+#: Total requests per throughput measurement.
+NUM_REQUESTS = 48
+
+
+def _request_inputs(bundle, count: int) -> list[np.ndarray]:
+    """Distinct inputs: dataset samples plus deterministic perturbations."""
+    base = [sample.x for sample in bundle.dataset]
+    rng = np.random.default_rng(7)
+    inputs = []
+    for index in range(count):
+        x = base[index % len(base)]
+        if index >= len(base):
+            x = (x + rng.normal(scale=0.01, size=x.shape)).astype(np.float32)
+        inputs.append(x)
+    return inputs
+
+
+def _throughput(registry, inputs, max_batch: int) -> tuple[float, dict]:
+    engine = BatchingEngine(registry, max_batch=max_batch,
+                            max_wait_ms=20.0 if max_batch > 1 else 0.0)
+    with engine:
+        start = time.perf_counter()
+        futures = [engine.submit("ode", x) for x in inputs]
+        for future in futures:
+            future.result(timeout=60.0)
+        elapsed = time.perf_counter() - start
+        stats = engine.stats()
+    return len(inputs) / elapsed, stats
+
+
+def test_serve_throughput(benchmark, scale, ode_bundle, ode_trainer):
+    registry = ModelRegistry()
+    registry.register("ode", ode_trainer.model)
+    inputs = _request_inputs(ode_bundle, NUM_REQUESTS)
+
+    throughput = {}
+    occupancy = {}
+    for max_batch in (1, 4, 16):
+        if max_batch == 16:
+            holder = {}
+
+            def run():
+                holder["result"] = _throughput(registry, inputs, 16)
+                return holder["result"]
+
+            benchmark.pedantic(run, rounds=1, iterations=1)
+            rate, stats = holder["result"]
+        else:
+            rate, stats = _throughput(registry, inputs, max_batch)
+        throughput[max_batch] = rate
+        occupancy[max_batch] = stats["mean_batch_occupancy"]
+
+    # Cache-hit fast path: prime one input, then query it repeatedly.
+    cache = ForecastCache(64)
+    engine = BatchingEngine(registry, max_batch=4, max_wait_ms=0.0,
+                            cache=cache)
+    with engine:
+        engine.forecast("ode", inputs[0])         # miss: runs the generator
+        start = time.perf_counter()
+        for _ in range(50):
+            engine.forecast("ode", inputs[0])     # hits
+        hit_seconds = (time.perf_counter() - start) / 50
+    assert cache.hits == 50
+
+    lines = [
+        f"Serving throughput (design ode, scale={scale.name}, "
+        f"{NUM_REQUESTS} requests, image "
+        f"{ode_bundle.layout.image_size}px)",
+    ]
+    for max_batch in (1, 4, 16):
+        lines.append(
+            f"  max_batch={max_batch:>2}: "
+            f"{throughput[max_batch]:7.1f} forecasts/s  "
+            f"(mean occupancy {occupancy[max_batch]:.1f}, "
+            f"{throughput[max_batch] / throughput[1]:.2f}x vs batch-1)")
+    lines.append(f"  cache hit: {hit_seconds * 1e6:7.0f} us/forecast  "
+                 f"({1.0 / hit_seconds:,.0f} forecasts/s)")
+    write_result("serve", lines)
+
+    # Micro-batching must pay for itself, and cache hits must beat the
+    # batched forward path by a wide margin.
+    assert throughput[4] > throughput[1]
+    assert hit_seconds < 1.0 / throughput[4]

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Serving quickstart: train -> checkpoint -> serve -> query, end to end.
+
+1. Build a small dataset for one design and train the cGAN forecaster.
+2. Checkpoint the model and warm-load it into a model registry.
+3. Start the micro-batching engine and the HTTP API on an ephemeral port.
+4. Query it with the stdlib client — cold request, cached repeat, and a
+   burst of concurrent requests that shares one batched forward — then
+   print the server's own metrics.
+
+Run:  python examples/serve_quickstart.py [scale]   (scale: smoke|default|paper)
+Artifacts land in examples/out/serve/.
+"""
+
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.config import get_scale
+from repro.flows import build_design_bundle
+from repro.fpga.generators import scaled_suite
+from repro.gan import Pix2Pix, Pix2PixConfig, Pix2PixTrainer
+from repro.serve import (
+    BatchingEngine,
+    ForecastCache,
+    ForecastClient,
+    ForecastServer,
+    ModelRegistry,
+)
+from repro.viz import write_png
+
+OUT_DIR = Path(__file__).parent / "out" / "serve"
+
+
+def main() -> None:
+    scale = get_scale(sys.argv[1] if len(sys.argv) > 1 else None)
+    spec = scaled_suite(scale)[0]  # diffeq1 at this scale
+    print(f"[1/4] building dataset for {spec.name} "
+          f"({scale.placements_per_design} placements)")
+    bundle = build_design_bundle(spec, scale, seed=1)
+
+    print(f"[2/4] training cGAN ({scale.epochs} epochs) and checkpointing")
+    model = Pix2Pix(Pix2PixConfig.from_scale(
+        scale, image_size=bundle.layout.image_size))
+    Pix2PixTrainer(model).fit(bundle.dataset, scale.epochs)
+    checkpoint = OUT_DIR / f"{spec.name}.npz"
+    model.save(checkpoint)
+
+    print("[3/4] starting registry + engine + HTTP API")
+    registry = ModelRegistry.from_directory(
+        OUT_DIR, log=lambda msg: print(f"      {msg}"))
+    engine = BatchingEngine(registry, max_batch=8, max_wait_ms=2.0,
+                            cache=ForecastCache(128))
+    with ForecastServer(engine, port=0) as server:
+        client = ForecastClient(port=server.port)
+        health = client.healthz()
+        print(f"      {server.url} is {health['status']} "
+              f"(version {health['version']}, models {health['models']})")
+
+        print("[4/4] querying")
+        sample = bundle.dataset[0]
+        cold = client.forecast(spec.name, x=sample.x)
+        warm = client.forecast(spec.name, x=sample.x)
+        print(f"      cold forecast: {cold.latency_ms:8.2f} ms  "
+              f"(cached={cold.cached})")
+        print(f"      warm repeat:   {warm.latency_ms:8.2f} ms  "
+              f"(cached={warm.cached})")
+        write_png(OUT_DIR / "forecast.png", cold.forecast)
+
+        burst = [s.x for s in bundle.dataset]
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=len(burst)) as pool:
+            replies = list(pool.map(
+                lambda x: ForecastClient(port=server.port).forecast(
+                    spec.name, x=x),
+                burst))
+        elapsed = time.perf_counter() - start
+        print(f"      burst of {len(replies)} concurrent requests: "
+              f"{len(replies) / elapsed:.0f} forecasts/s")
+
+        stats = client.metrics()["engine"]
+        print(f"      engine: {stats['completed']} served in "
+              f"{stats['batches']} batches "
+              f"(mean occupancy {stats['mean_batch_occupancy']:.1f}), "
+              f"cache hit rate {stats['cache']['hit_rate']:.0%}")
+    print(f"done; checkpoint and forecast in {OUT_DIR}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,16 +8,20 @@ Commands mirror the flows API:
   checkpointed model.
 * ``table2``   — run the Table 2 experiment and print the rows.
 * ``explore``  — run the Figure 9 constrained exploration.
+* ``serve``    — serve checkpointed forecasters over HTTP with
+  micro-batching and a forecast cache.
 
-All commands accept ``--scale {smoke,default,paper}``.
+All experiment commands accept ``--scale {smoke,default,paper}``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
+from repro import __version__
 from repro.config import get_scale
 
 
@@ -33,6 +37,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Painting-on-Placement congestion forecasting "
                     "(DAC 2019 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     datagen = commands.add_parser(
@@ -78,6 +84,23 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--design", default="ode")
     explore.add_argument("--seed", type=int, default=1)
     _add_scale(explore)
+
+    serve = commands.add_parser(
+        "serve", help="serve checkpointed forecasters over HTTP")
+    serve.add_argument("--checkpoints", type=Path, required=True,
+                       help="directory of .npz model checkpoints "
+                            "(model id = file stem)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port (0 binds an ephemeral port)")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="requests stacked into one generator forward")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="how long an open batch waits for stragglers")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="forecast LRU capacity (0 disables caching)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
 
     return parser
 
@@ -198,12 +221,47 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve import (
+        BatchingEngine,
+        ForecastCache,
+        ForecastServer,
+        ModelRegistry,
+    )
+
+    try:
+        registry = ModelRegistry.from_directory(
+            args.checkpoints, log=lambda msg: print(f"[registry] {msg}"))
+    except (FileNotFoundError, ValueError) as error:
+        raise SystemExit(f"error: {error}") from None
+    cache = ForecastCache(args.cache_size) if args.cache_size else None
+    engine = BatchingEngine(registry, max_batch=args.max_batch,
+                            max_wait_ms=args.max_wait_ms, cache=cache)
+    server = ForecastServer(engine, host=args.host, port=args.port,
+                            verbose=args.verbose)
+    with server:
+        print(f"serving {len(registry)} model(s) on {server.url} "
+              f"(max_batch={args.max_batch}, "
+              f"max_wait_ms={args.max_wait_ms}, "
+              f"cache={args.cache_size})", flush=True)
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down")
+    stats = engine.stats()
+    print(f"served {stats['completed']} forecast(s) in "
+          f"{stats['batches']} batch(es)")
+    return 0
+
+
 _COMMANDS = {
     "datagen": cmd_datagen,
     "train": cmd_train,
     "forecast": cmd_forecast,
     "table2": cmd_table2,
     "explore": cmd_explore,
+    "serve": cmd_serve,
 }
 
 

@@ -8,6 +8,11 @@ placement algorithm implemented in VPR."
 temperature it renders the in-flight placement, forecasts the heat map with
 the trained generator, and records (optionally writes) the frame — the GIF
 frames of the paper's demo page.
+
+Forecasts run either directly on a :class:`~repro.gan.Pix2Pix` model or
+through a running :class:`repro.serve.BatchingEngine` (pass ``engine=``),
+which is how a placer shares one warm forecaster — and its cache — with
+other clients.  Both paths are deterministic and produce identical frames.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ import numpy as np
 
 from repro.fpga import PlacerOptions, SimulatedAnnealingPlacer
 from repro.flows.datagen import DesignBundle
-from repro.gan.dataset import from_unit_range, input_from_images
+from repro.gan.dataset import input_from_images
 from repro.gan.metrics import image_congestion_score
 from repro.gan.pix2pix import Pix2Pix
 from repro.viz import (
@@ -45,12 +50,14 @@ class RealtimeFrame:
 
 def live_forecast(
     bundle: DesignBundle,
-    model: Pix2Pix,
+    model: Pix2Pix | None = None,
     options: PlacerOptions | None = None,
     snapshot_every: int = 2,
     connect_weight: float = 0.1,
     out_dir: str | Path | None = None,
     gif_path: str | Path | None = None,
+    engine=None,
+    engine_model_id: str | None = None,
 ) -> list[RealtimeFrame]:
     """Anneal the bundle's netlist while forecasting congestion per snapshot.
 
@@ -58,21 +65,46 @@ def live_forecast(
     placement and forecast images are written as PNG pairs; when
     ``gif_path`` is given, the forecast frames are additionally written as
     an animated GIF (the artifact of the paper's demo page).
+
+    When ``engine`` (a started :class:`repro.serve.BatchingEngine`) is
+    given, forecasts go through its batching/cache path instead of calling
+    the model directly: either name a registered model with
+    ``engine_model_id``, or pass ``model`` and it is registered in the
+    engine's registry on first use (under ``"realtime"``, or a suffixed id
+    when that is taken by a different model).
     """
+    if engine is None and model is None:
+        raise ValueError("pass a model, an engine, or both")
     options = options if options is not None else PlacerOptions(seed=17)
     layout = bundle.layout
     floor_image = render_floorplan(bundle.arch, layout)
     mask = bundle.channel_mask
     frames: list[RealtimeFrame] = []
 
+    model_id = engine_model_id
+    if engine is not None and model_id is None:
+        if model is None:
+            raise ValueError(
+                "pass model= or engine_model_id= with an engine")
+        # Serve THIS model instance — never a same-named earlier one.
+        model_id = engine.registry.id_of(model)
+        if model_id is None:
+            model_id, suffix = "realtime", 1
+            while model_id in engine.registry:
+                suffix += 1
+                model_id = f"realtime-{suffix}"
+            engine.registry.register(model_id, model)
+
     def snapshot(index: int, temperature: float, placement) -> None:
         place_image = render_placement(placement, layout, base=floor_image)
         connect_image = render_connectivity(bundle.netlist, placement, layout)
         x = input_from_images(place_image, connect_image, connect_weight)
         start = time.perf_counter()
-        generated = model.generate(x, sample_noise=False)
+        if engine is not None:
+            forecast01 = engine.forecast(model_id, x[0])
+        else:
+            forecast01 = model.forecast(x[0])
         forecast_seconds = time.perf_counter() - start
-        forecast01 = from_unit_range(generated[0].transpose(1, 2, 0))
         frames.append(RealtimeFrame(
             temperature_index=index,
             temperature=temperature,

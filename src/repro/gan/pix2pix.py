@@ -174,13 +174,23 @@ class Pix2Pix:
         import json
         from pathlib import Path
 
-        with np.load(Path(path), allow_pickle=False) as archive:
+        from repro.nn.serialize import validate_state_dict
+
+        path = Path(path)
+        with np.load(path, allow_pickle=False) as archive:
+            if "config_json" not in archive.files:
+                raise ValueError(
+                    f"{path} is not a Pix2Pix checkpoint (no config_json)")
             config = Pix2PixConfig(**json.loads(str(archive["config_json"])))
             model = cls(config)
             g_state = {key[2:]: archive[key] for key in archive.files
                        if key.startswith("G.")}
             d_state = {key[2:]: archive[key] for key in archive.files
                        if key.startswith("D.")}
+        validate_state_dict(model.generator, g_state,
+                            context=f"generator from {path}")
+        validate_state_dict(model.discriminator, d_state,
+                            context=f"discriminator from {path}")
         model.generator.load_state_dict(g_state)
         model.discriminator.load_state_dict(d_state)
         return model
@@ -191,9 +201,33 @@ class Pix2Pix:
         """Forecast heat maps for a batch of inputs.
 
         ``sample_noise=True`` keeps decoder dropout active (pix2pix draws its
-        noise z from dropout, including at test time).
+        noise z from dropout, including at test time).  With
+        ``sample_noise=False`` the pass is deterministic and batch-invariant:
+        stacking inputs into one batch yields bitwise the same outputs as
+        running them one at a time (see ``repro.nn.functional.blocked_matmul``),
+        which is what the serving engine's micro-batching relies on.
         """
         self.generator.train(sample_noise)
         out = self.generator.forward(x)
         self.generator.train(True)
         return out
+
+    def forecast(self, x: np.ndarray, sample_noise: bool = False) -> np.ndarray:
+        """Forecast heat-map *images* in [0, 1] from normalized inputs.
+
+        ``x`` is one ``(C, H, W)`` input or a batch ``(N, C, H, W)``, in the
+        tanh range [-1, 1]; the result is ``(H, W, 3)`` or ``(N, H, W, 3)``
+        accordingly.  Defaults to the deterministic (noise-free) pass used
+        for scoring, caching, and serving.
+        """
+        from repro.gan.dataset import from_unit_range
+
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim not in (3, 4):
+            raise ValueError(
+                f"expected (C, H, W) or (N, C, H, W) input, got {x.shape}")
+        single = x.ndim == 3
+        out = self.generate(x[None] if single else x,
+                            sample_noise=sample_noise)
+        images = from_unit_range(out.transpose(0, 2, 3, 1))
+        return images[0] if single else images

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.gan.dataset import Dataset, Sample, from_unit_range
+from repro.gan.dataset import Dataset, Sample
 from repro.gan.metrics import DEFAULT_TOLERANCE, per_pixel_accuracy
 from repro.gan.pix2pix import Pix2Pix
 
@@ -103,8 +103,7 @@ class Pix2PixTrainer:
     def forecast(self, sample: Sample, sample_noise: bool = False
                  ) -> np.ndarray:
         """Generated heat map for one sample, as (H, W, 3) in [0, 1]."""
-        out = self.model.generate(sample.x[None], sample_noise=sample_noise)
-        return from_unit_range(out[0].transpose(1, 2, 0))
+        return self.model.forecast(sample.x, sample_noise=sample_noise)
 
     def evaluate(self, dataset: Dataset,
                  tolerance: float = DEFAULT_TOLERANCE) -> list[float]:

@@ -9,6 +9,7 @@ finite differences in the test suite.
 """
 
 from repro.nn.functional import (
+    blocked_matmul,
     col2im,
     conv2d_output_size,
     conv_transpose2d_output_size,
@@ -34,7 +35,12 @@ from repro.nn.layers import (
 )
 from repro.nn.losses import BCEWithLogitsLoss, L1Loss, MSELoss
 from repro.nn.optim import SGD, Adam
-from repro.nn.serialize import load_state_dict, save_state_dict
+from repro.nn.serialize import (
+    load_state_dict,
+    save_state_dict,
+    state_dict_mismatch,
+    validate_state_dict,
+)
 
 __all__ = [
     "Adam",
@@ -55,6 +61,7 @@ __all__ = [
     "Sequential",
     "Sigmoid",
     "Tanh",
+    "blocked_matmul",
     "col2im",
     "conv2d_output_size",
     "conv_transpose2d_output_size",
@@ -65,5 +72,7 @@ __all__ = [
     "normal_init",
     "save_state_dict",
     "sigmoid",
+    "state_dict_mismatch",
+    "validate_state_dict",
     "xavier_uniform",
 ]

@@ -97,6 +97,34 @@ def col2im(
     return img[:, :, pad:pad + h, pad:pad + w]
 
 
+def blocked_matmul(a: np.ndarray, b: np.ndarray, block_rows: int) -> np.ndarray:
+    """``a @ b`` computed in fixed-size row blocks of ``a``.
+
+    BLAS selects its internal blocking from the full matrix shape, so the
+    rounding of row ``i`` of ``a @ b`` can change with the *total* number of
+    rows.  Processing ``a`` in blocks of ``block_rows`` pins the gemm shape
+    each row sees, making every block's result bitwise-identical no matter
+    how many blocks are stacked — this is what lets a batched inference pass
+    reproduce the batch-1 outputs exactly.  Both operands are made
+    C-contiguous first: BLAS also dispatches on memory layout, and e.g. a
+    batch-1 ``im2col`` can legally return a transposed view where batch-N
+    must copy.
+    """
+    a = np.ascontiguousarray(a)
+    b = np.ascontiguousarray(b)
+    rows = a.shape[0]
+    if rows <= block_rows:
+        return a @ b
+    if rows % block_rows:
+        raise ValueError(
+            f"row count {rows} is not a multiple of block_rows={block_rows}")
+    out = np.empty((rows, b.shape[1]), dtype=np.result_type(a, b))
+    for start in range(0, rows, block_rows):
+        stop = start + block_rows
+        np.matmul(a[start:stop], b, out=out[start:stop])
+    return out
+
+
 def sigmoid(x: np.ndarray) -> np.ndarray:
     """Numerically stable logistic function."""
     out = np.empty_like(x, dtype=np.float64)

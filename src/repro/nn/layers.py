@@ -15,6 +15,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.nn.functional import (
+    blocked_matmul,
     col2im,
     conv2d_output_size,
     conv_transpose2d_output_size,
@@ -165,7 +166,12 @@ class Conv2d(Module):
         out_w = conv2d_output_size(w, self.kernel, self.stride, self.pad)
         col = im2col(x, self.kernel, self.stride, self.pad)
         w_mat = self.weight.data.reshape(self.out_channels, -1)
-        out = col @ w_mat.T
+        if self.training:
+            out = col @ w_mat.T
+        else:
+            # Inference must be batch-invariant: per-sample gemm blocks keep
+            # batched forecasts bitwise-equal to batch-1 (see blocked_matmul).
+            out = blocked_matmul(col, w_mat.T, out_h * out_w)
         if self.bias is not None:
             out += self.bias.data
         self._cache = (x.shape, col)
@@ -218,7 +224,11 @@ class ConvTranspose2d(Module):
         out_w = conv_transpose2d_output_size(w, self.kernel, self.stride, self.pad)
         x_mat = x.transpose(0, 2, 3, 1).reshape(n * h * w, c)
         w_mat = self.weight.data.reshape(self.in_channels, -1)
-        col = x_mat @ w_mat
+        if self.training:
+            col = x_mat @ w_mat
+        else:
+            # Batch-invariant inference, as in Conv2d.forward.
+            col = blocked_matmul(x_mat, w_mat, h * w)
         out = col2im(col, (n, self.out_channels, out_h, out_w),
                      self.kernel, self.stride, self.pad)
         if self.bias is not None:

@@ -16,7 +16,42 @@ def save_state_dict(module: Module, path: str | Path) -> None:
     np.savez_compressed(path, **module.state_dict())
 
 
+def state_dict_mismatch(module: Module, state: dict[str, np.ndarray]
+                        ) -> tuple[list[str], list[str]]:
+    """(missing, unexpected) key lists between ``module`` and ``state``."""
+    own = set(dict(module.named_parameters())) | {
+        name for name, _ in module._named_buffers()}
+    loaded = set(state)
+    return sorted(own - loaded), sorted(loaded - own)
+
+
+def validate_state_dict(module: Module, state: dict[str, np.ndarray],
+                        context: str = "state dict") -> None:
+    """Raise a ``ValueError`` naming every missing/unexpected key.
+
+    ``Module.load_state_dict`` fails deep inside the module tree on the
+    first bad key (and silently ignores missing ones); validating up front
+    turns a truncated or mismatched checkpoint into one readable error.
+    """
+    missing, unexpected = state_dict_mismatch(module, state)
+    if not missing and not unexpected:
+        return
+    parts = []
+    if missing:
+        parts.append(f"missing keys: {', '.join(missing)}")
+    if unexpected:
+        parts.append(f"unexpected keys: {', '.join(unexpected)}")
+    raise ValueError(f"cannot load {context}: " + "; ".join(parts))
+
+
 def load_state_dict(module: Module, path: str | Path) -> None:
-    """Load parameters saved by :func:`save_state_dict` into ``module``."""
-    with np.load(Path(path)) as archive:
-        module.load_state_dict({name: archive[name] for name in archive.files})
+    """Load parameters saved by :func:`save_state_dict` into ``module``.
+
+    Raises ``ValueError`` listing all missing/unexpected keys when the
+    checkpoint does not match the module's structure.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    validate_state_dict(module, state, context=f"checkpoint {path}")
+    module.load_state_dict(state)

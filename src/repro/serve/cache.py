@@ -1,0 +1,100 @@
+"""Content-addressed LRU cache for forecast results.
+
+A placement loop queries the forecaster with inputs that often barely move
+between iterations (annealer snapshots, exploration candidates revisited by
+different objectives).  The cache keys each request by the model that would
+serve it and a digest of the exact input bytes, so a repeated query skips
+the generator forward entirely.  Forecasts are deterministic
+(``sample_noise=False``), which is what makes caching them sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+
+def input_digest(x: np.ndarray) -> str:
+    """Content hash of an input array (dtype, shape, and raw bytes)."""
+    x = np.ascontiguousarray(x)
+    hasher = hashlib.sha256()
+    hasher.update(str(x.dtype).encode())
+    hasher.update(str(x.shape).encode())
+    hasher.update(x.tobytes())
+    return hasher.hexdigest()
+
+
+class ForecastCache:
+    """Thread-safe LRU of ``(model_id, input digest) -> forecast image``.
+
+    Cached arrays are marked read-only before being stored and are returned
+    as-is; callers that need to mutate a result must copy it first.
+    ``capacity=0`` disables caching (every ``get`` misses, ``put`` drops).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[str, str], np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, model_id: str, digest: str) -> np.ndarray | None:
+        """The cached forecast for this key, or ``None`` (counts a miss)."""
+        key = (model_id, digest)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, model_id: str, digest: str, forecast: np.ndarray) -> None:
+        """Insert (or refresh) a forecast, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        # Copy: never alias caller memory (a view would pin its whole base
+        # array and freeze the caller's copy too).
+        forecast = np.array(forecast, copy=True)
+        forecast.flags.writeable = False
+        key = (model_id, digest)
+        with self._lock:
+            self._entries[key] = forecast
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters snapshot for ``/metrics``."""
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "capacity": self.capacity,
+            "size": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

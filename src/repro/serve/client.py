@@ -1,0 +1,105 @@
+"""Small stdlib client for the forecast HTTP API.
+
+Used by the tests, the serving example, and the benchmark; also a reference
+for what a placement tool would embed to query the service.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ClientError(Exception):
+    """Server returned an error status; carries the decoded JSON message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class ForecastResponse:
+    """Decoded ``POST /v1/forecast`` reply."""
+
+    model: str
+    forecast: np.ndarray     # (H, W, 3) float32 in [0, 1]
+    cached: bool
+    latency_ms: float
+
+
+class ForecastClient:
+    """JSON-over-HTTP client bound to one server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000,
+                 timeout: float = 60.0):
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, path: str, payload: dict | None = None) -> dict:
+        url = self.base_url + path
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read()).get("error", str(error))
+            except (json.JSONDecodeError, ValueError):
+                message = str(error)
+            raise ClientError(error.code, message) from None
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def models(self) -> list[dict]:
+        return self._request("/v1/models")["models"]
+
+    def metrics(self) -> dict:
+        return self._request("/metrics")
+
+    def forecast(self, model: str, x: np.ndarray | None = None,
+                 place_image: np.ndarray | None = None,
+                 connect_image: np.ndarray | None = None,
+                 connect_weight: float = 0.1) -> ForecastResponse:
+        """Request one forecast.
+
+        Pass either ``x`` (a ``(C, H, W)`` normalized input) or
+        ``place_image`` + ``connect_image`` (rendered [0, 1] images, built
+        into the input stack server-side).
+        """
+        if (x is None) == (place_image is None):
+            raise ValueError("pass exactly one of x or place_image")
+        payload: dict = {"model": model}
+        if x is not None:
+            payload["input"] = np.asarray(x, dtype=np.float32).tolist()
+        else:
+            if connect_image is None:
+                raise ValueError("place_image requires connect_image")
+            payload["place_image"] = np.asarray(
+                place_image, dtype=np.float32).tolist()
+            payload["connect_image"] = np.asarray(
+                connect_image, dtype=np.float32).tolist()
+            payload["connect_weight"] = connect_weight
+        reply = self._request("/v1/forecast", payload)
+        return ForecastResponse(
+            model=reply["model"],
+            forecast=np.asarray(reply["forecast"], dtype=np.float32),
+            cached=bool(reply["cached"]),
+            latency_ms=float(reply["latency_ms"]),
+        )

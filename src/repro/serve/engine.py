@@ -1,0 +1,291 @@
+"""Micro-batching inference engine.
+
+Requests from any number of client threads are funneled into one queue; a
+single worker thread drains it, groups up to ``max_batch`` requests (waiting
+at most ``max_wait_ms`` for stragglers once the first arrives), stacks each
+model's inputs into one NCHW batch, and runs a single generator forward per
+model.  Because deterministic inference is batch-invariant (see
+:meth:`repro.gan.Pix2Pix.forecast`), a request's result is bitwise the same
+whether it rode a full batch or ran alone — batching is purely a throughput
+optimization, amortizing the per-forward Python and im2col overhead.
+
+Running every forward on one worker thread is also what makes the engine
+safe: the numpy layers cache activations on ``forward``, so a model must
+never run two passes concurrently.  The engine therefore assumes it owns
+its models — don't train a registered model while the engine is running.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.cache import ForecastCache, input_digest
+from repro.serve.registry import ModelRegistry
+
+
+@dataclass
+class ForecastResult:
+    """One served forecast plus how it was produced.
+
+    ``image`` is read-only (cache hits share the cached array; misses are
+    frozen too so both paths behave identically) — copy before mutating.
+    """
+
+    model_id: str
+    image: np.ndarray        # (H, W, 3) float32 in [0, 1], read-only
+    cached: bool
+    latency_seconds: float
+
+
+@dataclass
+class _Request:
+    model_id: str
+    x: np.ndarray            # (C, H, W)
+    digest: str | None
+    future: Future
+    submitted_at: float
+
+
+_STOP = object()
+
+
+class BatchingEngine:
+    """Queue + worker thread turning a :class:`ModelRegistry` into a service.
+
+    Parameters
+    ----------
+    registry:
+        Models to serve; requests name one by id.
+    max_batch:
+        Largest number of requests stacked into one forward.
+    max_wait_ms:
+        How long the worker holds an open batch for more arrivals after the
+        first request.  ``0`` serves every request immediately (batch of
+        whatever is already queued).
+    cache:
+        Optional :class:`ForecastCache`; hits resolve at submit time without
+        touching the queue.
+    """
+
+    def __init__(self, registry: ModelRegistry, max_batch: int = 8,
+                 max_wait_ms: float = 2.0,
+                 cache: ForecastCache | None = None):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.registry = registry
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.cache = cache
+        self._queue: queue.Queue = queue.Queue()
+        self._worker: threading.Thread | None = None
+        self._stopping = False
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._max_occupancy = 0
+        self._forward_seconds = 0.0
+        self._latency_seconds = 0.0
+        self._completed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._worker is not None and self._worker.is_alive()
+
+    def start(self) -> "BatchingEngine":
+        if self._worker is not None:
+            raise RuntimeError("engine is already running (or a previous "
+                               "stop() timed out; see stop())")
+        self._stopping = False
+        self._worker = threading.Thread(
+            target=self._run, name="forecast-engine", daemon=True)
+        self._worker.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain in-flight work, then stop the worker.
+
+        New submissions are rejected as soon as stop begins; requests still
+        queued behind the stop marker fail with ``RuntimeError``.  If the
+        worker is wedged in a forward longer than ``timeout``, raises
+        ``RuntimeError`` and leaves the engine as-is (so a second worker
+        can never run the same models concurrently).
+        """
+        worker = self._worker
+        if worker is None:
+            return
+        self._stopping = True
+        self._queue.put(_STOP)
+        worker.join(timeout)
+        if worker.is_alive():
+            raise RuntimeError(
+                f"engine worker did not stop within {timeout}s")
+        self._worker = None
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                item.future.set_exception(
+                    RuntimeError("engine stopped before request ran"))
+
+    def __enter__(self) -> "BatchingEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request paths -----------------------------------------------------
+
+    def submit(self, model_id: str, x: np.ndarray) -> Future:
+        """Enqueue one input; the future resolves to a :class:`ForecastResult`.
+
+        ``x`` is a single (C, H, W) input in [-1, 1] matching the model's
+        configured channels and image size.  Cache hits resolve immediately.
+        """
+        if self._stopping or not self.running:
+            raise RuntimeError("engine is not running (call start())")
+        model = self.registry.get(model_id)
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 4 and x.shape[0] == 1:
+            x = x[0]
+        cfg = model.config
+        expected = (cfg.input_channels, cfg.image_size, cfg.image_size)
+        if x.shape != expected:
+            raise ValueError(f"model {model_id!r} expects input shape "
+                             f"{expected}, got {x.shape}")
+        now = time.perf_counter()
+        future: Future = Future()
+        digest = None
+        if self.cache is not None:
+            digest = input_digest(x)
+            hit = self.cache.get(model_id, digest)
+            if hit is not None:
+                with self._stats_lock:
+                    self._requests += 1
+                    self._completed += 1
+                    self._latency_seconds += time.perf_counter() - now
+                future.set_result(ForecastResult(
+                    model_id=model_id, image=hit, cached=True,
+                    latency_seconds=time.perf_counter() - now))
+                return future
+        with self._stats_lock:
+            self._requests += 1
+        self._queue.put(_Request(model_id=model_id, x=x, digest=digest,
+                                 future=future, submitted_at=now))
+        return future
+
+    def forecast(self, model_id: str, x: np.ndarray,
+                 timeout: float | None = 30.0) -> np.ndarray:
+        """Blocking convenience wrapper: the forecast image (H, W, 3)."""
+        return self.forecast_result(model_id, x, timeout=timeout).image
+
+    def forecast_result(self, model_id: str, x: np.ndarray,
+                        timeout: float | None = 30.0) -> ForecastResult:
+        """Blocking wrapper returning the full :class:`ForecastResult`."""
+        return self.submit(model_id, x).result(timeout=timeout)
+
+    # -- worker ------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if first is _STOP:
+                return
+            batch = [first]
+            deadline = time.perf_counter() + self.max_wait_ms / 1000.0
+            stop_after = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.perf_counter()
+                try:
+                    if remaining > 0:
+                        item = self._queue.get(timeout=remaining)
+                    else:
+                        item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    stop_after = True
+                    break
+                batch.append(item)
+            self._serve_batch(batch)
+            if stop_after:
+                return
+
+    def _serve_batch(self, batch: list[_Request]) -> None:
+        with self._stats_lock:
+            self._batches += 1
+            self._batched_requests += len(batch)
+            self._max_occupancy = max(self._max_occupancy, len(batch))
+        # One forward per distinct model, in arrival order of first request.
+        groups: dict[str, list[_Request]] = {}
+        for request in batch:
+            groups.setdefault(request.model_id, []).append(request)
+        for model_id, requests in groups.items():
+            try:
+                model = self.registry.get(model_id)
+                stacked = np.stack([request.x for request in requests])
+                start = time.perf_counter()
+                images = model.forecast(stacked)
+                forward_seconds = time.perf_counter() - start
+            except Exception as error:  # surface to every waiting caller
+                for request in requests:
+                    request.future.set_exception(error)
+                continue
+            done = time.perf_counter()
+            with self._stats_lock:
+                self._forward_seconds += forward_seconds
+                self._completed += len(requests)
+                self._latency_seconds += sum(
+                    done - request.submitted_at for request in requests)
+            for request, image in zip(requests, images):
+                # Copy out of the batch (a row view would pin the whole
+                # batch array) and freeze — results are read-only on the
+                # hit path too.
+                image = image.copy()
+                image.flags.writeable = False
+                if self.cache is not None and request.digest is not None:
+                    self.cache.put(model_id, request.digest, image)
+                request.future.set_result(ForecastResult(
+                    model_id=model_id, image=image, cached=False,
+                    latency_seconds=done - request.submitted_at))
+
+    # -- metrics -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters snapshot for ``/metrics``."""
+        with self._stats_lock:
+            batches = self._batches
+            snapshot = {
+                "requests": self._requests,
+                "completed": self._completed,
+                "batches": batches,
+                "batched_requests": self._batched_requests,
+                "mean_batch_occupancy": (
+                    self._batched_requests / batches if batches else 0.0),
+                "max_batch_occupancy": self._max_occupancy,
+                "forward_seconds_total": self._forward_seconds,
+                "mean_latency_ms": (
+                    1e3 * self._latency_seconds / self._completed
+                    if self._completed else 0.0),
+                "max_batch": self.max_batch,
+                "max_wait_ms": self.max_wait_ms,
+                "queue_depth": self._queue.qsize(),
+            }
+        if self.cache is not None:
+            snapshot["cache"] = self.cache.stats()
+        return snapshot

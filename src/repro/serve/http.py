@@ -1,0 +1,235 @@
+"""Stdlib JSON HTTP API over the batching engine.
+
+Endpoints:
+
+* ``GET /healthz``      — liveness: status, version, registered model count.
+* ``GET /v1/models``    — model metadata from the registry.
+* ``GET /metrics``      — engine, cache, and HTTP counters.
+* ``POST /v1/forecast`` — run one forecast.  Body is JSON with ``model``
+  plus either ``input`` (a nested ``(C, H, W)`` list in [-1, 1]) or
+  ``place_image`` (``(H, W, 3)`` in [0, 1]) with ``connect_image``
+  (``(H, W)`` in [0, 1]) and optional ``connect_weight``; the response
+  carries the forecast image as nested ``(H, W, 3)`` lists in [0, 1].
+
+A ``ThreadingHTTPServer`` handles each connection on its own thread; all
+inference still funnels through the engine's single worker, so concurrent
+HTTP clients are exactly what fills its micro-batches.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro import __version__
+from repro.gan.dataset import make_input_stack
+from repro.serve.engine import BatchingEngine
+
+#: Reject request bodies larger than this (64 MB covers a 1024px input).
+MAX_BODY_BYTES = 64 << 20
+
+
+class ApiError(Exception):
+    """An error with an HTTP status, rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _parse_forecast_body(body: dict) -> tuple[str, np.ndarray]:
+    """Extract (model_id, input array) from a ``/v1/forecast`` payload."""
+    if not isinstance(body, dict):
+        raise ApiError(400, "request body must be a JSON object")
+    model_id = body.get("model")
+    if not isinstance(model_id, str):
+        raise ApiError(400, "missing or non-string 'model'")
+    has_input = "input" in body
+    has_images = "place_image" in body
+    if has_input == has_images:
+        raise ApiError(
+            400, "provide exactly one of 'input' or "
+                 "'place_image' + 'connect_image'")
+    try:
+        if has_input:
+            x = np.asarray(body["input"], dtype=np.float32)
+            if x.ndim != 3:
+                raise ApiError(
+                    400, f"'input' must be (C, H, W), got shape {x.shape}")
+        else:
+            if "connect_image" not in body:
+                raise ApiError(400, "'place_image' requires 'connect_image'")
+            place = np.asarray(body["place_image"], dtype=np.float32)
+            connect = np.asarray(body["connect_image"], dtype=np.float32)
+            weight = float(body.get("connect_weight", 0.1))
+            x = make_input_stack(place, connect, weight)
+    except ApiError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise ApiError(400, f"bad forecast payload: {error}") from None
+    return model_id, x
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # The wrapper stashes itself on the stdlib server object.
+    @property
+    def api(self) -> "ForecastServer":
+        return self.server.api  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.api.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if status >= 400:
+            # Error paths may not have drained the request body; dropping
+            # the keep-alive connection keeps leftover bytes from being
+            # parsed as the next request.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _count(self, route: str) -> None:
+        with self.api._lock:
+            counts = self.api._route_counts
+            counts[route] = counts.get(route, 0) + 1
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            if self.path == "/healthz":
+                self._count("/healthz")
+                self._send_json(200, {
+                    "status": "ok",
+                    "version": __version__,
+                    "models": self.api.engine.registry.model_ids,
+                    "uptime_seconds": time.time() - self.api.started_at,
+                })
+            elif self.path == "/v1/models":
+                self._count("/v1/models")
+                self._send_json(200, {
+                    "models": [info.as_dict()
+                               for info in self.api.engine.registry.list()],
+                })
+            elif self.path == "/metrics":
+                self._count("/metrics")
+                self._send_json(200, {
+                    "engine": self.api.engine.stats(),
+                    "http": self.api.http_stats(),
+                })
+            else:
+                raise ApiError(404, f"no such route: {self.path}")
+        except ApiError as error:
+            self._send_json(error.status, {"error": str(error)})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            if self.path != "/v1/forecast":
+                raise ApiError(404, f"no such route: {self.path}")
+            self._count("/v1/forecast")
+            length = int(self.headers.get("Content-Length", 0))
+            if length <= 0:
+                raise ApiError(400, "missing request body")
+            if length > MAX_BODY_BYTES:
+                raise ApiError(413, "request body too large")
+            try:
+                body = json.loads(self.rfile.read(length))
+            except json.JSONDecodeError as error:
+                raise ApiError(400, f"invalid JSON: {error}") from None
+            model_id, x = _parse_forecast_body(body)
+            engine = self.api.engine
+            try:
+                result = engine.forecast_result(
+                    model_id, x, timeout=self.api.forecast_timeout)
+            except KeyError as error:
+                raise ApiError(404, str(error.args[0])) from None
+            except ValueError as error:
+                raise ApiError(400, str(error)) from None
+            except concurrent.futures.TimeoutError:
+                raise ApiError(
+                    504, f"forecast did not complete within "
+                         f"{self.api.forecast_timeout}s") from None
+            except RuntimeError as error:   # engine stopped mid-request
+                raise ApiError(503, str(error)) from None
+            self._send_json(200, {
+                "model": result.model_id,
+                "shape": list(result.image.shape),
+                "forecast": result.image.tolist(),
+                "cached": result.cached,
+                "latency_ms": result.latency_seconds * 1e3,
+            })
+        except ApiError as error:
+            self._send_json(error.status, {"error": str(error)})
+
+
+class ForecastServer:
+    """Owns a ``ThreadingHTTPServer`` bound to the engine.
+
+    ``port=0`` binds an ephemeral port; read the bound one from ``.port``
+    after :meth:`start`.  Use as a context manager in tests and examples.
+    """
+
+    def __init__(self, engine: BatchingEngine, host: str = "127.0.0.1",
+                 port: int = 8000, forecast_timeout: float = 60.0,
+                 verbose: bool = False):
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.forecast_timeout = forecast_timeout
+        self.verbose = verbose
+        self.started_at = time.time()
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._route_counts: dict[str, int] = {}
+
+    def http_stats(self) -> dict:
+        with self._lock:
+            return {"requests_by_route": dict(self._route_counts)}
+
+    def start(self) -> "ForecastServer":
+        if self._httpd is not None:
+            raise RuntimeError("server is already running")
+        if not self.engine.running:
+            self.engine.start()
+        self._httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        self._httpd.api = self  # type: ignore[attr-defined]
+        self.port = self._httpd.server_address[1]
+        self.started_at = time.time()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="forecast-http",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting connections, then stop the engine."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.engine.stop()
+
+    def __enter__(self) -> "ForecastServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"

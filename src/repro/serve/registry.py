@@ -1,0 +1,161 @@
+"""Model registry: discover, validate, and warm-load forecaster checkpoints.
+
+The registry is the serving subsystem's source of truth for which models
+exist: it scans a checkpoint directory for ``.npz`` files written by
+:meth:`repro.gan.Pix2Pix.save`, loads each into a ready :class:`Pix2Pix`
+instance up front (so the first request pays no load latency), and exposes
+the metadata a client needs to pick a model — image size, channel counts,
+parameter count, and a content checksum of the checkpoint file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.gan.pix2pix import Pix2Pix
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Metadata for one registered forecaster."""
+
+    model_id: str
+    image_size: int
+    input_channels: int
+    output_channels: int
+    base_filters: int
+    skip_mode: str
+    num_parameters: int
+    path: str | None = None       # None for in-memory registrations
+    checksum: str | None = None   # sha256 of the checkpoint file
+    size_bytes: int | None = None
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation for ``GET /v1/models``."""
+        return dataclasses.asdict(self)
+
+
+def _file_checksum(path: Path) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+class ModelRegistry:
+    """Keyed collection of warm :class:`Pix2Pix` models plus their metadata."""
+
+    def __init__(self):
+        self._models: dict[str, Pix2Pix] = {}
+        self._info: dict[str, ModelInfo] = {}
+        # Registrations can arrive while HTTP handler threads list models.
+        self._lock = threading.Lock()
+
+    # -- registration ------------------------------------------------------
+
+    @classmethod
+    def from_directory(cls, directory: str | Path,
+                       pattern: str = "*.npz", log=None) -> "ModelRegistry":
+        """Warm-load every checkpoint matching ``pattern`` under ``directory``.
+
+        The model id is the file stem (``ode.npz`` serves as ``ode``).
+        Raises ``FileNotFoundError`` for a missing directory and
+        ``ValueError`` when no checkpoint loads.
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"checkpoint directory {directory} "
+                                    f"does not exist")
+        registry = cls()
+        for path in sorted(directory.glob(pattern)):
+            info = registry.register_file(path)
+            if log is not None:
+                log(f"loaded {info.model_id}: {info.image_size}px, "
+                    f"{info.num_parameters} params, "
+                    f"checksum {info.checksum[:12]}")
+        if not registry:
+            raise ValueError(
+                f"no checkpoints matching {pattern!r} in {directory}")
+        return registry
+
+    def register_file(self, path: str | Path,
+                      model_id: str | None = None) -> ModelInfo:
+        """Load one checkpoint file; the id defaults to the file stem."""
+        path = Path(path)
+        model_id = model_id if model_id is not None else path.stem
+        model = Pix2Pix.load(path)   # raises ValueError on a bad checkpoint
+        return self.register(model_id, model, path=path)
+
+    def register(self, model_id: str, model: Pix2Pix,
+                 path: str | Path | None = None) -> ModelInfo:
+        """Register an already-constructed model (e.g. fresh from training)."""
+        cfg = model.config
+        checksum = size_bytes = None
+        if path is not None:
+            path = Path(path)
+            checksum = _file_checksum(path)
+            size_bytes = path.stat().st_size
+        info = ModelInfo(
+            model_id=model_id,
+            image_size=cfg.image_size,
+            input_channels=cfg.input_channels,
+            output_channels=cfg.output_channels,
+            base_filters=cfg.base_filters,
+            skip_mode=cfg.skip_mode,
+            num_parameters=model.generator.num_parameters(),
+            path=str(path) if path is not None else None,
+            checksum=checksum,
+            size_bytes=size_bytes,
+        )
+        with self._lock:
+            if model_id in self._models:
+                raise ValueError(f"model id {model_id!r} already registered")
+            self._models[model_id] = model
+            self._info[model_id] = info
+        return info
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, model_id: str) -> Pix2Pix:
+        with self._lock:
+            try:
+                return self._models[model_id]
+            except KeyError:
+                known = ", ".join(sorted(self._models)) or "<none>"
+                raise KeyError(f"unknown model {model_id!r}; "
+                               f"registered: {known}") from None
+
+    def info(self, model_id: str) -> ModelInfo:
+        self.get(model_id)   # normalize the error message
+        with self._lock:
+            return self._info[model_id]
+
+    def id_of(self, model: Pix2Pix) -> str | None:
+        """The id a model instance is registered under, if any."""
+        with self._lock:
+            for model_id, registered in self._models.items():
+                if registered is model:
+                    return model_id
+        return None
+
+    def list(self) -> list[ModelInfo]:
+        with self._lock:
+            return [self._info[model_id] for model_id in sorted(self._info)]
+
+    @property
+    def model_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def __contains__(self, model_id: str) -> bool:
+        with self._lock:
+            return model_id in self._models
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)

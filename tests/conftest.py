@@ -1,0 +1,45 @@
+"""Shared fixtures: a tiny trained model for serving/inference tests."""
+
+import numpy as np
+import pytest
+
+from repro.gan import Pix2Pix, Pix2PixConfig
+
+
+def make_tiny_model(seed: int = 1, image_size: int = 16,
+                    train_steps: int = 2) -> Pix2Pix:
+    """A 16px model with a couple of training steps applied.
+
+    The steps matter: they move the BatchNorm running statistics off their
+    init values, so eval-mode inference exercises real running stats.
+    """
+    model = Pix2Pix(Pix2PixConfig(image_size=image_size, base_filters=4,
+                                  disc_filters=4, seed=seed))
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(1, 4, image_size, image_size)).astype(np.float32)
+    y = np.tanh(rng.normal(size=(1, 3, image_size, image_size))
+                ).astype(np.float32)
+    for _ in range(train_steps):
+        model.train_step(x, y)
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_model() -> Pix2Pix:
+    return make_tiny_model()
+
+
+@pytest.fixture(scope="session")
+def make_model():
+    """The tiny-model factory, injectable where a second model is needed.
+
+    (Injected as a fixture rather than imported: ``import conftest`` is
+    ambiguous when pytest collects both tests/ and benchmarks/.)
+    """
+    return make_tiny_model
+
+
+@pytest.fixture()
+def tiny_inputs():
+    rng = np.random.default_rng(42)
+    return rng.normal(size=(12, 4, 16, 16)).astype(np.float32)

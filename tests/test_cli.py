@@ -23,6 +23,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--checkpoints", "ckpts", "--port", "0",
+             "--max-batch", "4", "--cache-size", "32"])
+        assert args.command == "serve"
+        assert args.max_batch == 4
+        assert args.cache_size == 32
+        assert args.max_wait_ms == 2.0
+
 
 class TestCommands:
     def test_datagen_writes_dataset(self, tmp_path):
@@ -63,6 +80,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Acc.1" in out
         assert "diffeq1" in out and "diffeq2" in out
+
+
+class TestServeCommand:
+    def test_serve_http_roundtrip(self, tmp_path):
+        """`python -m repro serve` starts, answers, and shuts down cleanly."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        model_path = tmp_path / "diffeq1.npz"
+        code = main(["train", "--designs", "diffeq1", "--epochs", "1",
+                     "--out", str(model_path), "--scale", "smoke",
+                     "--seed", "3"])
+        assert code == 0
+
+        env = dict(os.environ, REPRO_SCALE="smoke")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--checkpoints", str(tmp_path), "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            port = None
+            for _ in range(50):
+                line = process.stdout.readline()
+                match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+                if match:
+                    port = int(match.group(1))
+                    break
+            assert port is not None, "server never reported its URL"
+
+            from repro.serve import ForecastClient
+
+            client = ForecastClient(port=port)
+            assert client.healthz()["status"] == "ok"
+            assert [m["model_id"] for m in client.models()] == ["diffeq1"]
+            model = Pix2Pix.load(model_path)
+            size = model.config.image_size
+            x = np.random.default_rng(0).normal(
+                size=(4, size, size)).astype(np.float32)
+            reply = client.forecast("diffeq1", x=x)
+            np.testing.assert_array_equal(reply.forecast,
+                                          model.forecast(x))
+        finally:
+            process.send_signal(signal.SIGINT)
+            stdout, _ = process.communicate(timeout=30)
+        assert process.returncode == 0, stdout
+        assert "shutting down" in stdout
 
 
 class TestCheckpointing:

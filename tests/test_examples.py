@@ -64,6 +64,13 @@ class TestExamples:
         assert "L1+skip" in result.stdout
         assert (out_dir / "ablation" / "truth.png").exists()
 
+    def test_serve_quickstart(self, tmp_path, out_dir):
+        result = run_example("serve_quickstart.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "cached=True" in result.stdout
+        assert "forecasts/s" in result.stdout
+        assert (out_dir / "serve" / "forecast.png").exists()
+
     def test_packing_flow(self, tmp_path, out_dir):
         result = run_example("packing_flow.py", tmp_path)
         assert result.returncode == 0, result.stderr

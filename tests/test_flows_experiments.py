@@ -174,3 +174,53 @@ class TestSpeedupAndRealtime:
             snapshot_every=1)
         temps = [frame.temperature for frame in frames]
         assert all(b <= a for a, b in zip(temps, temps[1:]))
+
+    def test_live_forecast_through_engine_matches_direct(self, bundle,
+                                                         trainer):
+        from repro.serve import BatchingEngine, ForecastCache, ModelRegistry
+
+        options = PlacerOptions(seed=5, alpha_t=0.5, inner_num=0.25,
+                                max_temperatures=6)
+        direct = live_forecast(bundle, trainer.model, options=options,
+                               snapshot_every=2)
+        engine = BatchingEngine(ModelRegistry(), max_batch=4,
+                                cache=ForecastCache(32))
+        with engine:
+            served = live_forecast(bundle, trainer.model, options=options,
+                                   snapshot_every=2, engine=engine)
+        assert len(served) == len(direct)
+        for a, b in zip(direct, served):
+            assert np.array_equal(a.forecast, b.forecast)
+            assert a.predicted_congestion == b.predicted_congestion
+        assert engine.stats()["requests"] == len(served)
+
+    def test_live_forecast_requires_model_or_engine(self, bundle):
+        with pytest.raises(ValueError, match="model"):
+            live_forecast(bundle)
+
+    def test_engine_path_serves_the_model_passed_not_a_stale_one(
+            self, bundle):
+        """A second live_forecast with a new model must not reuse the
+        first call's 'realtime' registration."""
+        from repro.serve import BatchingEngine, ModelRegistry
+
+        size = bundle.layout.image_size
+        model_a = Pix2Pix(Pix2PixConfig.from_scale(SMOKE, image_size=size,
+                                                   seed=11))
+        model_b = Pix2Pix(Pix2PixConfig.from_scale(SMOKE, image_size=size,
+                                                   seed=12))
+        options = PlacerOptions(seed=5, alpha_t=0.5, inner_num=0.25,
+                                max_temperatures=4)
+        with BatchingEngine(ModelRegistry(), max_batch=2) as engine:
+            live_forecast(bundle, model_a, options=options, snapshot_every=2,
+                          engine=engine)
+            served = live_forecast(bundle, model_b, options=options,
+                                   snapshot_every=2, engine=engine)
+            # Repeating with model_a reuses its registration by identity.
+            live_forecast(bundle, model_a, options=options, snapshot_every=2,
+                          engine=engine)
+        assert engine.registry.model_ids == ["realtime", "realtime-2"]
+        direct = live_forecast(bundle, model_b, options=options,
+                               snapshot_every=2)
+        for a, b in zip(direct, served):
+            assert np.array_equal(a.forecast, b.forecast)

@@ -103,3 +103,45 @@ class TestActivations:
     def test_leaky_relu_values(self):
         x = np.array([-2.0, 0.0, 3.0])
         np.testing.assert_allclose(leaky_relu(x, 0.2), [-0.4, 0.0, 3.0])
+
+
+class TestBlockedMatmul:
+    def test_matches_plain_matmul(self):
+        from repro.nn import blocked_matmul
+
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(12, 7)).astype(np.float32)
+        b = rng.normal(size=(7, 5)).astype(np.float32)
+        np.testing.assert_allclose(blocked_matmul(a, b, 4), a @ b,
+                                   atol=1e-6)
+
+    def test_blocks_are_stack_invariant(self):
+        """Each block's rows are bitwise-identical however many are stacked."""
+        from repro.nn import blocked_matmul
+
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(64, 48)).astype(np.float32)
+        b = rng.normal(size=(48, 3)).astype(np.float32)
+        stacked = blocked_matmul(np.concatenate([a] * 5), b, 64)
+        single = blocked_matmul(a, b, 64)
+        for chunk in range(5):
+            assert np.array_equal(stacked[chunk * 64:(chunk + 1) * 64],
+                                  single)
+
+    def test_normalizes_layout(self):
+        """Transposed views and contiguous copies produce identical bits."""
+        from repro.nn import blocked_matmul
+
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(48, 64)).astype(np.float32)
+        b = rng.normal(size=(48, 3)).astype(np.float32)
+        view = a.T                       # non-contiguous
+        copy = np.ascontiguousarray(view)
+        assert np.array_equal(blocked_matmul(view, b, 64),
+                              blocked_matmul(copy, b, 64))
+
+    def test_rejects_ragged_blocks(self):
+        from repro.nn import blocked_matmul
+
+        with pytest.raises(ValueError, match="block_rows"):
+            blocked_matmul(np.zeros((10, 4)), np.zeros((4, 2)), 4)

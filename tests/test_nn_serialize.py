@@ -1,0 +1,124 @@
+"""Checkpoint serialization: round-trips and mismatch diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, Sequential, BatchNorm2d
+from repro.nn.serialize import (
+    load_state_dict,
+    save_state_dict,
+    state_dict_mismatch,
+    validate_state_dict,
+)
+
+
+def small_module(seed: int = 0) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential(Conv2d(2, 4, rng=rng), BatchNorm2d(4),
+                      Conv2d(4, 2, rng=rng))
+
+
+class TestRoundTrip:
+    def test_save_load_restores_output(self, tmp_path):
+        module = small_module(seed=1)
+        x = np.random.default_rng(0).normal(size=(1, 2, 8, 8)
+                                            ).astype(np.float32)
+        module.train(False)
+        expected = module.forward(x)
+
+        path = tmp_path / "module.npz"
+        save_state_dict(module, path)
+        restored = small_module(seed=2)
+        load_state_dict(restored, path)
+        restored.train(False)
+        np.testing.assert_array_equal(restored.forward(x), expected)
+
+    def test_buffers_round_trip(self, tmp_path):
+        module = small_module(seed=1)
+        module.forward(np.random.default_rng(0).normal(
+            size=(2, 2, 8, 8)).astype(np.float32))   # moves running stats
+        path = tmp_path / "module.npz"
+        save_state_dict(module, path)
+        restored = small_module(seed=2)
+        load_state_dict(restored, path)
+        np.testing.assert_array_equal(restored.layers[1].running_mean,
+                                      module.layers[1].running_mean)
+
+
+class TestMismatchDiagnostics:
+    def test_mismatch_lists_both_directions(self):
+        module = small_module()
+        state = module.state_dict()
+        del state["layers.0.weight"]
+        state["bogus"] = np.zeros(1)
+        missing, unexpected = state_dict_mismatch(module, state)
+        assert missing == ["layers.0.weight"]
+        assert unexpected == ["bogus"]
+
+    def test_validate_names_every_bad_key(self):
+        module = small_module()
+        state = module.state_dict()
+        del state["layers.0.weight"]
+        del state["layers.1.running_mean"]
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(ValueError) as excinfo:
+            validate_state_dict(module, state)
+        message = str(excinfo.value)
+        assert "layers.0.weight" in message
+        assert "layers.1.running_mean" in message
+        assert "bogus" in message
+
+    def test_validate_passes_on_exact_match(self):
+        module = small_module()
+        validate_state_dict(module, module.state_dict())
+
+    def test_load_truncated_checkpoint_raises_value_error(self, tmp_path):
+        module = small_module()
+        state = module.state_dict()
+        del state["layers.2.bias"]
+        path = tmp_path / "truncated.npz"
+        np.savez(path, **state)
+        with pytest.raises(ValueError, match="layers.2.bias"):
+            load_state_dict(small_module(), path)
+
+    def test_load_foreign_checkpoint_raises_value_error(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, **{"totally.wrong": np.zeros(2)})
+        with pytest.raises(ValueError, match="totally.wrong"):
+            load_state_dict(small_module(), path)
+
+
+class TestPix2PixCheckpointValidation:
+    def test_load_rejects_non_checkpoint(self, tmp_path):
+        from repro.gan import Pix2Pix
+
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(ValueError, match="not a Pix2Pix checkpoint"):
+            Pix2Pix.load(path)
+
+    def test_load_rejects_truncated_checkpoint(self, tmp_path, tiny_model):
+        path = tmp_path / "model.npz"
+        tiny_model.save(path)
+        with np.load(path) as archive:
+            state = {name: archive[name] for name in archive.files}
+        dropped = next(key for key in state if key.startswith("G."))
+        del state[dropped]
+        np.savez(tmp_path / "bad.npz", **state)
+
+        from repro.gan import Pix2Pix
+
+        with pytest.raises(ValueError, match=dropped[2:].replace(".", r"\.")):
+            Pix2Pix.load(tmp_path / "bad.npz")
+
+    def test_save_load_forecast_roundtrip(self, tmp_path, tiny_model):
+        """Checkpoint -> restore -> forecast is bitwise-stable."""
+        from repro.gan import Pix2Pix
+
+        x = np.random.default_rng(0).normal(size=(4, 16, 16)
+                                            ).astype(np.float32)
+        expected = tiny_model.forecast(x)
+        path = tmp_path / "model.npz"
+        tiny_model.save(path)
+        restored = Pix2Pix.load(path)
+        np.testing.assert_array_equal(restored.forecast(x), expected)

@@ -1,0 +1,106 @@
+"""Forecast cache: content addressing, LRU eviction, counters."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import ForecastCache, input_digest
+
+
+def image(value: float) -> np.ndarray:
+    return np.full((4, 4, 3), value, dtype=np.float32)
+
+
+class TestInputDigest:
+    def test_deterministic_and_content_addressed(self):
+        a = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert input_digest(a) == input_digest(a.copy())
+
+    def test_distinguishes_content(self):
+        a = np.zeros((3, 4), dtype=np.float32)
+        b = a.copy()
+        b[0, 0] = 1e-7
+        assert input_digest(a) != input_digest(b)
+
+    def test_distinguishes_shape_and_dtype(self):
+        a = np.zeros(12, dtype=np.float32)
+        assert input_digest(a) != input_digest(a.reshape(3, 4))
+        assert input_digest(a) != input_digest(a.astype(np.float64))
+
+    def test_accepts_noncontiguous(self):
+        a = np.arange(24, dtype=np.float32).reshape(4, 6)
+        assert input_digest(a[:, ::2]) == input_digest(
+            np.ascontiguousarray(a[:, ::2]))
+
+
+class TestForecastCache:
+    def test_miss_then_hit(self):
+        cache = ForecastCache(4)
+        assert cache.get("m", "d1") is None
+        cache.put("m", "d1", image(0.5))
+        hit = cache.get("m", "d1")
+        assert hit is not None
+        np.testing.assert_array_equal(hit, image(0.5))
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_keys_include_model_id(self):
+        cache = ForecastCache(4)
+        cache.put("a", "d", image(0.1))
+        assert cache.get("b", "d") is None
+
+    def test_lru_eviction_order(self):
+        cache = ForecastCache(2)
+        cache.put("m", "d1", image(0.1))
+        cache.put("m", "d2", image(0.2))
+        cache.get("m", "d1")                 # d1 is now most recent
+        cache.put("m", "d3", image(0.3))     # evicts d2
+        assert cache.get("m", "d1") is not None
+        assert cache.get("m", "d2") is None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_entries_are_read_only(self):
+        cache = ForecastCache(2)
+        cache.put("m", "d", image(0.5))
+        hit = cache.get("m", "d")
+        with pytest.raises(ValueError):
+            hit[0, 0, 0] = 1.0
+
+    def test_zero_capacity_disables(self):
+        cache = ForecastCache(0)
+        cache.put("m", "d", image(0.5))
+        assert cache.get("m", "d") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ForecastCache(-1)
+
+    def test_stats_and_hit_rate(self):
+        cache = ForecastCache(4)
+        cache.put("m", "d", image(0.5))
+        cache.get("m", "d")
+        cache.get("m", "other")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["size"] == 1
+
+    def test_thread_safety_under_contention(self):
+        cache = ForecastCache(8)
+
+        def worker(tag: int) -> None:
+            for index in range(200):
+                key = f"d{(tag * 7 + index) % 16}"
+                if cache.get("m", key) is None:
+                    cache.put("m", key, image(float(tag)))
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 8
+        assert cache.hits + cache.misses == 800

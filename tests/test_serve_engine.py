@@ -1,0 +1,189 @@
+"""Micro-batching engine: equivalence, batching, caching, lifecycle."""
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchingEngine, ForecastCache, ModelRegistry
+
+
+@pytest.fixture()
+def registry(tiny_model):
+    registry = ModelRegistry()
+    registry.register("tiny", tiny_model)
+    return registry
+
+
+class TestEquivalence:
+    def test_batched_engine_matches_per_sample_forecast(
+            self, registry, tiny_model, tiny_inputs):
+        """The acceptance bar: batched results are bitwise per-sample."""
+        with BatchingEngine(registry, max_batch=8,
+                            max_wait_ms=20.0) as engine:
+            futures = [engine.submit("tiny", x) for x in tiny_inputs]
+            results = [future.result(timeout=30.0) for future in futures]
+        stats = engine.stats()
+        assert stats["batches"] < len(tiny_inputs)   # batching actually happened
+        assert stats["mean_batch_occupancy"] > 1.0
+        for x, result in zip(tiny_inputs, results):
+            expected = tiny_model.forecast(x)
+            assert np.array_equal(result.image, expected)
+            assert result.cached is False
+            assert result.image.shape == (16, 16, 3)
+
+    def test_pix2pix_forecast_batch_invariance(self, tiny_model, tiny_inputs):
+        singles = np.stack([tiny_model.forecast(x) for x in tiny_inputs])
+        batched = tiny_model.forecast(tiny_inputs)
+        assert np.array_equal(batched, singles)
+
+    def test_forecast_accepts_single_and_batch_shapes(self, tiny_model):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 16, 16)).astype(np.float32)
+        assert tiny_model.forecast(x).shape == (16, 16, 3)
+        assert tiny_model.forecast(x[None]).shape == (1, 16, 16, 3)
+        with pytest.raises(ValueError, match="expected"):
+            tiny_model.forecast(x[0])
+
+
+class TestBatching:
+    def test_max_batch_respected(self, registry, tiny_inputs):
+        with BatchingEngine(registry, max_batch=4,
+                            max_wait_ms=50.0) as engine:
+            futures = [engine.submit("tiny", x) for x in tiny_inputs]
+            for future in futures:
+                future.result(timeout=30.0)
+        assert engine.stats()["max_batch_occupancy"] <= 4
+
+    def test_zero_wait_serves_immediately(self, registry, tiny_inputs):
+        with BatchingEngine(registry, max_batch=8,
+                            max_wait_ms=0.0) as engine:
+            result = engine.forecast_result("tiny", tiny_inputs[0],
+                                            timeout=30.0)
+        assert result.cached is False
+
+    def test_concurrent_submitters(self, registry, tiny_model, tiny_inputs):
+        results: list = [None] * len(tiny_inputs)
+
+        def submit(index: int) -> None:
+            results[index] = engine.forecast("tiny", tiny_inputs[index],
+                                             timeout=30.0)
+
+        with BatchingEngine(registry, max_batch=6,
+                            max_wait_ms=10.0) as engine:
+            threads = [threading.Thread(target=submit, args=(i,))
+                       for i in range(len(tiny_inputs))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        for index, image in enumerate(results):
+            assert np.array_equal(image,
+                                  tiny_model.forecast(tiny_inputs[index]))
+
+
+class TestCachePath:
+    def test_results_read_only_on_both_paths(self, registry, tiny_inputs):
+        cache = ForecastCache(16)
+        with BatchingEngine(registry, max_batch=4, max_wait_ms=0.0,
+                            cache=cache) as engine:
+            miss = engine.forecast_result("tiny", tiny_inputs[0])
+            hit = engine.forecast_result("tiny", tiny_inputs[0])
+        for result in (miss, hit):
+            with pytest.raises(ValueError):
+                result.image[0, 0, 0] = 1.0
+        # The cached copy must not alias the miss-path array.
+        assert miss.image is not hit.image
+
+    def test_repeat_requests_hit_cache(self, registry, tiny_inputs):
+        cache = ForecastCache(16)
+        with BatchingEngine(registry, max_batch=4, max_wait_ms=0.0,
+                            cache=cache) as engine:
+            first = engine.forecast_result("tiny", tiny_inputs[0])
+            again = engine.forecast_result("tiny", tiny_inputs[0])
+        assert first.cached is False
+        assert again.cached is True
+        assert cache.hits == 1
+        assert np.array_equal(first.image, again.image)
+
+    def test_cache_hit_skips_the_queue(self, registry, tiny_inputs):
+        cache = ForecastCache(16)
+        with BatchingEngine(registry, max_batch=4, max_wait_ms=0.0,
+                            cache=cache) as engine:
+            engine.forecast("tiny", tiny_inputs[0])
+            batches_before = engine.stats()["batches"]
+            hit = engine.submit("tiny", tiny_inputs[0])
+            assert hit.done()            # resolved synchronously
+            assert engine.stats()["batches"] == batches_before
+
+
+class TestValidationAndLifecycle:
+    def test_unknown_model_rejected_at_submit(self, registry, tiny_inputs):
+        with BatchingEngine(registry) as engine:
+            with pytest.raises(KeyError, match="tiny"):
+                engine.submit("nope", tiny_inputs[0])
+
+    def test_wrong_shape_rejected_at_submit(self, registry):
+        with BatchingEngine(registry) as engine:
+            with pytest.raises(ValueError, match="expects input shape"):
+                engine.submit("tiny", np.zeros((4, 8, 8), dtype=np.float32))
+
+    def test_submit_requires_running_engine(self, registry, tiny_inputs):
+        engine = BatchingEngine(registry)
+        with pytest.raises(RuntimeError, match="not running"):
+            engine.submit("tiny", tiny_inputs[0])
+
+    def test_stop_drains_and_stops(self, registry, tiny_inputs):
+        engine = BatchingEngine(registry, max_batch=2, max_wait_ms=0.0)
+        engine.start()
+        futures = [engine.submit("tiny", x) for x in tiny_inputs]
+        engine.stop()
+        assert not engine.running
+        settled = [f for f in futures if f.done()]
+        assert settled  # at least the first batch ran
+        for future in settled:
+            if future.exception() is None:
+                assert future.result().image.shape == (16, 16, 3)
+
+    def test_stats_counters_consistent(self, registry, tiny_inputs):
+        with BatchingEngine(registry, max_batch=4,
+                            max_wait_ms=5.0) as engine:
+            for x in tiny_inputs[:6]:
+                engine.forecast("tiny", x, timeout=30.0)
+            stats = engine.stats()
+        assert stats["requests"] == 6
+        assert stats["completed"] == 6
+        assert stats["batched_requests"] == 6
+        assert stats["mean_latency_ms"] > 0
+        assert stats["forward_seconds_total"] > 0
+
+    def test_bad_parameters_rejected(self, registry):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchingEngine(registry, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            BatchingEngine(registry, max_wait_ms=-1.0)
+
+    def test_future_type(self, registry, tiny_inputs):
+        with BatchingEngine(registry) as engine:
+            future = engine.submit("tiny", tiny_inputs[0])
+            assert isinstance(future, Future)
+            future.result(timeout=30.0)
+
+
+class TestMultiModel:
+    def test_mixed_batch_routes_to_both_models(self, tiny_model,
+                                               tiny_inputs, make_model):
+        other = make_model(seed=9)
+        registry = ModelRegistry()
+        registry.register("a", tiny_model)
+        registry.register("b", other)
+        with BatchingEngine(registry, max_batch=8,
+                            max_wait_ms=20.0) as engine:
+            futures = [engine.submit("a" if i % 2 else "b", x)
+                       for i, x in enumerate(tiny_inputs[:8])]
+            results = [f.result(timeout=30.0) for f in futures]
+        for i, (x, result) in enumerate(zip(tiny_inputs[:8], results)):
+            expected = (tiny_model if i % 2 else other).forecast(x)
+            assert np.array_equal(result.image, expected)

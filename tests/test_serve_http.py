@@ -1,0 +1,155 @@
+"""HTTP API + client round-trips on an ephemeral port."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.gan.dataset import make_input_stack
+from repro.serve import (
+    BatchingEngine,
+    ClientError,
+    ForecastCache,
+    ForecastClient,
+    ForecastServer,
+    ModelRegistry,
+)
+
+
+@pytest.fixture()
+def server(tiny_model):
+    registry = ModelRegistry()
+    registry.register("tiny", tiny_model)
+    engine = BatchingEngine(registry, max_batch=4, max_wait_ms=2.0,
+                            cache=ForecastCache(16))
+    with ForecastServer(engine, port=0) as running:
+        yield running
+    assert not engine.running
+
+
+@pytest.fixture()
+def client(server):
+    return ForecastClient(port=server.port)
+
+
+class TestEndpoints:
+    def test_healthz_reports_version_and_models(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["version"] == repro.__version__
+        assert health["models"] == ["tiny"]
+        assert health["uptime_seconds"] >= 0
+
+    def test_models_metadata(self, client):
+        models = client.models()
+        assert len(models) == 1
+        assert models[0]["model_id"] == "tiny"
+        assert models[0]["image_size"] == 16
+        assert models[0]["num_parameters"] > 0
+
+    def test_forecast_roundtrip_matches_direct(self, client, tiny_model):
+        x = np.random.default_rng(3).normal(
+            size=(4, 16, 16)).astype(np.float32)
+        reply = client.forecast("tiny", x=x)
+        assert reply.model == "tiny"
+        assert reply.forecast.shape == (16, 16, 3)
+        assert reply.cached is False
+        assert reply.latency_ms > 0
+        # JSON round-trips float32 exactly (decimal repr is exact for
+        # binary floats), so even over HTTP the forecast is bitwise.
+        np.testing.assert_array_equal(reply.forecast,
+                                      tiny_model.forecast(x))
+
+    def test_repeat_request_is_cached(self, client):
+        x = np.random.default_rng(4).normal(
+            size=(4, 16, 16)).astype(np.float32)
+        assert client.forecast("tiny", x=x).cached is False
+        assert client.forecast("tiny", x=x).cached is True
+
+    def test_forecast_from_rendered_images(self, client, tiny_model):
+        rng = np.random.default_rng(5)
+        place = rng.random((16, 16, 3)).astype(np.float32)
+        connect = rng.random((16, 16)).astype(np.float32)
+        reply = client.forecast("tiny", place_image=place,
+                                connect_image=connect, connect_weight=0.1)
+        expected = tiny_model.forecast(make_input_stack(place, connect, 0.1))
+        np.testing.assert_array_equal(reply.forecast, expected)
+
+    def test_metrics_exposes_engine_cache_and_http(self, client):
+        x = np.random.default_rng(6).normal(
+            size=(4, 16, 16)).astype(np.float32)
+        client.forecast("tiny", x=x)
+        metrics = client.metrics()
+        assert metrics["engine"]["requests"] >= 1
+        assert metrics["engine"]["cache"]["capacity"] == 16
+        assert metrics["http"]["requests_by_route"]["/v1/forecast"] >= 1
+
+    def test_concurrent_http_clients_share_batches(self, server,
+                                                   tiny_model):
+        rng = np.random.default_rng(7)
+        xs = rng.normal(size=(8, 4, 16, 16)).astype(np.float32)
+        replies: list = [None] * len(xs)
+
+        def query(index: int) -> None:
+            replies[index] = ForecastClient(port=server.port).forecast(
+                "tiny", x=xs[index])
+
+        threads = [threading.Thread(target=query, args=(i,))
+                   for i in range(len(xs))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index, reply in enumerate(replies):
+            np.testing.assert_array_equal(
+                reply.forecast, tiny_model.forecast(xs[index]))
+
+
+class TestErrors:
+    def test_unknown_model_404(self, client):
+        with pytest.raises(ClientError) as excinfo:
+            client.forecast("nope", x=np.zeros((4, 16, 16), np.float32))
+        assert excinfo.value.status == 404
+
+    def test_wrong_shape_400(self, client):
+        with pytest.raises(ClientError) as excinfo:
+            client.forecast("tiny", x=np.zeros((4, 8, 8), np.float32))
+        assert excinfo.value.status == 400
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(ClientError) as excinfo:
+            client._request("/v2/nothing")
+        assert excinfo.value.status == 404
+
+    def test_bad_json_400(self, server):
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            server.url + "/v1/forecast", data=b"not json{",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_missing_input_400(self, client):
+        with pytest.raises(ClientError) as excinfo:
+            client._request("/v1/forecast", {"model": "tiny"})
+        assert excinfo.value.status == 400
+
+    def test_client_side_argument_check(self, client):
+        with pytest.raises(ValueError, match="exactly one"):
+            client.forecast("tiny")
+
+    def test_forecast_timeout_returns_504(self, tiny_model):
+        registry = ModelRegistry()
+        registry.register("tiny", tiny_model)
+        # A long batching window plus a zero timeout guarantees the future
+        # is still pending when the handler gives up.
+        engine = BatchingEngine(registry, max_batch=8, max_wait_ms=500.0)
+        with ForecastServer(engine, port=0, forecast_timeout=0.0) as running:
+            with pytest.raises(ClientError) as excinfo:
+                ForecastClient(port=running.port).forecast(
+                    "tiny", x=np.zeros((4, 16, 16), np.float32))
+        assert excinfo.value.status == 504

@@ -1,0 +1,85 @@
+"""Model registry: discovery, warm loading, metadata, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry
+
+
+@pytest.fixture()
+def checkpoint_dir(tmp_path, tiny_model, make_model):
+    tiny_model.save(tmp_path / "diffeq1.npz")
+    make_model(seed=5).save(tmp_path / "ode.npz")
+    return tmp_path
+
+
+class TestFromDirectory:
+    def test_discovers_and_loads_all(self, checkpoint_dir):
+        registry = ModelRegistry.from_directory(checkpoint_dir)
+        assert registry.model_ids == ["diffeq1", "ode"]
+        assert len(registry) == 2
+        assert "ode" in registry and "nope" not in registry
+
+    def test_loaded_model_forecasts(self, checkpoint_dir, tiny_model):
+        registry = ModelRegistry.from_directory(checkpoint_dir)
+        x = np.random.default_rng(0).normal(
+            size=(4, 16, 16)).astype(np.float32)
+        np.testing.assert_allclose(
+            registry.get("diffeq1").forecast(x), tiny_model.forecast(x),
+            atol=1e-6)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ModelRegistry.from_directory(tmp_path / "nowhere")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(ValueError, match="no checkpoints"):
+            ModelRegistry.from_directory(tmp_path)
+
+    def test_non_checkpoint_npz_rejected(self, tmp_path):
+        np.savez(tmp_path / "junk.npz", stuff=np.zeros(3))
+        with pytest.raises(ValueError, match="not a Pix2Pix checkpoint"):
+            ModelRegistry.from_directory(tmp_path)
+
+
+class TestMetadata:
+    def test_info_fields(self, checkpoint_dir):
+        registry = ModelRegistry.from_directory(checkpoint_dir)
+        info = registry.info("diffeq1")
+        assert info.model_id == "diffeq1"
+        assert info.image_size == 16
+        assert info.input_channels == 4 and info.output_channels == 3
+        assert info.num_parameters > 0
+        assert info.path.endswith("diffeq1.npz")
+        assert len(info.checksum) == 64
+        assert info.size_bytes > 0
+        assert info.as_dict()["model_id"] == "diffeq1"
+
+    def test_checksum_tracks_file_content(self, checkpoint_dir):
+        registry = ModelRegistry.from_directory(checkpoint_dir)
+        checksums = {info.checksum for info in registry.list()}
+        assert len(checksums) == 2   # different weights, different digests
+
+    def test_in_memory_registration(self, tiny_model):
+        registry = ModelRegistry()
+        info = registry.register("live", tiny_model)
+        assert info.path is None and info.checksum is None
+        assert registry.get("live") is tiny_model
+
+    def test_duplicate_id_rejected(self, tiny_model):
+        registry = ModelRegistry()
+        registry.register("m", tiny_model)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("m", tiny_model)
+
+    def test_unknown_id_names_known_models(self, tiny_model):
+        registry = ModelRegistry()
+        registry.register("only", tiny_model)
+        with pytest.raises(KeyError, match="only"):
+            registry.get("missing")
+
+    def test_id_of_finds_instance_by_identity(self, tiny_model, make_model):
+        registry = ModelRegistry()
+        registry.register("m", tiny_model)
+        assert registry.id_of(tiny_model) == "m"
+        assert registry.id_of(make_model(seed=8)) is None
