@@ -1,0 +1,97 @@
+"""E12 — dataset platform throughput: parallel generation and streaming.
+
+Measures the ``repro.data`` pipeline against the serial Section-5 loop:
+
+* **build throughput** — placements routed and rendered per second, serial
+  versus a worker pool (the paper's 200-placement-per-design sweeps are
+  embarrassingly parallel across placements);
+* **loader throughput** — samples per second streamed out of a sharded
+  store versus iterated from the in-memory dataset, with and without
+  dihedral augmentation.
+
+Worker-pool speedup is hardware-dependent: on a single-core container the
+pool only adds process overhead, so the report prints the measured ratio
+alongside the CPU count rather than asserting a speedup.
+"""
+
+import os
+import time
+
+from conftest import write_result
+
+from repro.config import custom_scale, get_scale
+from repro.data import MemoryLoader, ShardedStore, StreamingLoader, build_design_store
+from repro.fpga.generators import scaled_suite
+
+#: Placements per build measurement (enough to amortize pool start-up).
+NUM_PLACEMENTS = 8
+WORKER_COUNTS = (2, 4)
+LOADER_EPOCHS = 20
+
+
+def _build(tmp_path, spec, scale, workers: int) -> tuple[float, ShardedStore]:
+    start = time.perf_counter()
+    store = build_design_store(
+        spec, scale, tmp_path / f"store-w{workers}",
+        num_placements=NUM_PLACEMENTS, seed=1, workers=workers,
+        shard_size=4)
+    return time.perf_counter() - start, store
+
+
+def _loader_rate(loader, epochs: int = LOADER_EPOCHS) -> float:
+    count = 0
+    start = time.perf_counter()
+    for epoch in range(epochs):
+        for x_batch, _ in loader.epoch(epoch):
+            count += x_batch.shape[0]
+    return count / (time.perf_counter() - start)
+
+
+def test_datagen_throughput(tmp_path, scale):
+    bench_scale = custom_scale(get_scale("smoke"),
+                               placements_per_design=NUM_PLACEMENTS)
+    spec = scaled_suite(bench_scale)[0]
+    cpus = os.cpu_count() or 1
+
+    serial_seconds, store = _build(tmp_path, spec, bench_scale, workers=0)
+    lines = [
+        "E12  dataset platform throughput "
+        f"(smoke scale, {NUM_PLACEMENTS} placements, {cpus} CPU(s))",
+        "",
+        "build (place + route + render per placement):",
+        f"  serial:      {NUM_PLACEMENTS / serial_seconds:7.2f} "
+        f"placements/s  ({serial_seconds:.2f}s)",
+    ]
+    reference = store.sample_hashes
+    for workers in WORKER_COUNTS:
+        pool_seconds, pool_store = _build(tmp_path, spec, bench_scale,
+                                          workers=workers)
+        assert pool_store.sample_hashes == reference  # determinism
+        lines.append(
+            f"  {workers} workers:   "
+            f"{NUM_PLACEMENTS / pool_seconds:7.2f} placements/s  "
+            f"({pool_seconds:.2f}s, {serial_seconds / pool_seconds:.2f}x "
+            f"vs serial)")
+
+    dataset = store.to_dataset()
+    rates = {
+        "in-memory": _loader_rate(MemoryLoader(dataset, seed=1)),
+        "streaming": _loader_rate(StreamingLoader(store, seed=1)),
+        "streaming+augment": _loader_rate(
+            StreamingLoader(store, seed=1, augment=True)),
+    }
+    lines += ["", f"loader ({LOADER_EPOCHS} epochs x "
+                  f"{len(dataset)} samples, batch 1):"]
+    for name, rate in rates.items():
+        lines.append(f"  {name:<18} {rate:9.0f} samples/s")
+    streaming_penalty = rates["in-memory"] / rates["streaming"]
+    lines.append(f"  streaming reads shards from disk each epoch: "
+                 f"{streaming_penalty:.1f}x the in-memory cost")
+
+    write_result("datagen", lines)
+    assert store.verify() == []
+    # Streaming must stay shard-bounded no matter the corpus size.
+    loader = StreamingLoader(store, seed=2)
+    for _ in loader.epoch(0):
+        pass
+    assert loader.peak_resident_samples <= 4

@@ -16,6 +16,8 @@ depends on, all implemented from scratch:
   floorplan layout, img_place / img_route / connectivity renderers, PNG IO.
 * :mod:`repro.flows` — end-to-end applications: dataset pipeline, Table 2,
   the ablations, Figure 9 exploration, real-time forecasting during SA.
+* :mod:`repro.data`  — dataset platform: sharded on-disk store with a
+  provenance manifest, parallel generation workers, streaming loader.
 * :mod:`repro.serve` — forecast serving: checkpoint registry,
   micro-batching inference engine, forecast cache, HTTP API + client.
 
@@ -32,7 +34,7 @@ Quickstart::
 
 from repro.config import DEFAULT, PAPER, SMOKE, ExperimentScale, get_scale
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DEFAULT",

@@ -10,6 +10,9 @@ Commands mirror the flows API:
 * ``explore``  — run the Figure 9 constrained exploration.
 * ``serve``    — serve checkpointed forecasters over HTTP with
   micro-batching and a forecast cache.
+* ``data``     — sharded dataset store operations: ``build`` (parallel
+  generation workers), ``merge``, ``stats``, ``verify``, and ``convert``
+  for legacy single-file archives.
 
 All experiment commands accept ``--scale {smoke,default,paper}``.
 """
@@ -101,6 +104,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="forecast LRU capacity (0 disables caching)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
+
+    data = commands.add_parser(
+        "data", help="sharded dataset store: build/merge/stats/verify")
+    data_commands = data.add_subparsers(dest="data_command", required=True)
+
+    build = data_commands.add_parser(
+        "build", help="generate a sharded dataset with a worker pool")
+    build.add_argument("--designs", default="diffeq1",
+                       help="comma-separated Table 2 design names")
+    build.add_argument("--placements", type=int, default=None,
+                       help="placements per design (default: per scale)")
+    build.add_argument("--seed", type=int, default=1)
+    build.add_argument("--workers", type=int, default=0,
+                       help="generation worker processes (0/1 = serial)")
+    build.add_argument("--shard-size", type=int, default=16,
+                       help="samples per shard file")
+    build.add_argument("--out", type=Path, required=True,
+                       help="output store directory")
+    _add_scale(build)
+
+    merge = data_commands.add_parser(
+        "merge", help="merge stores into one (re-sharded)")
+    merge.add_argument("inputs", type=Path, nargs="+",
+                       help="input store directories")
+    merge.add_argument("--out", type=Path, required=True,
+                       help="output store directory")
+    merge.add_argument("--shard-size", type=int, default=16)
+
+    stats = data_commands.add_parser(
+        "stats", help="print a store's manifest summary")
+    stats.add_argument("store", type=Path)
+
+    verify = data_commands.add_parser(
+        "verify", help="recheck shard hashes and sample counts")
+    verify.add_argument("store", type=Path)
+
+    convert = data_commands.add_parser(
+        "convert", help="convert a legacy .npz dataset archive to a store")
+    convert.add_argument("archive", type=Path)
+    convert.add_argument("--out", type=Path, required=True,
+                         help="output store directory")
+    convert.add_argument("--shard-size", type=int, default=16)
 
     return parser
 
@@ -255,6 +300,76 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_data(args) -> int:
+    from repro.data import StoreError
+
+    try:
+        return _run_data(args)
+    except (StoreError, ValueError) as error:
+        raise SystemExit(f"error: {error}") from None
+
+
+def _run_data(args) -> int:
+    from repro.data import ShardedStore, StoreError, build_design_store
+
+    if args.data_command == "build":
+        from repro.flows.datagen import suite_image_size
+
+        scale = get_scale(args.scale)
+        specs = [_spec(scale, name.strip())
+                 for name in args.designs.split(",")]
+        image_size = (suite_image_size(scale, specs, seed=args.seed)
+                      if len(specs) > 1 else None)
+        store = None
+        for spec in specs:
+            print(f"building {spec.name} "
+                  f"({args.placements or scale.placements_per_design} "
+                  f"placements, {args.workers} worker(s))")
+            store = build_design_store(
+                spec, scale, args.out, num_placements=args.placements,
+                seed=args.seed, workers=args.workers,
+                shard_size=args.shard_size, image_size=image_size,
+                store=store)
+        print(f"wrote {store.num_samples} samples in {store.num_shards} "
+              f"shard(s) ({store.image_size}px) to {args.out}")
+        return 0
+
+    if args.data_command == "merge":
+        merged = ShardedStore.create(args.out, shard_size=args.shard_size)
+        for path in args.inputs:
+            merged.merge_from(ShardedStore.open(path))
+        merged.flush()
+        print(f"merged {len(args.inputs)} store(s): {merged.num_samples} "
+              f"samples in {merged.num_shards} shard(s) at {args.out}")
+        return 0
+
+    if args.data_command == "stats":
+        store = ShardedStore.open(args.store)
+        for key, value in store.stats().items():
+            print(f"{key:>20}: {value}")
+        return 0
+
+    if args.data_command == "verify":
+        store = ShardedStore.open(args.store)
+        problems = store.verify()
+        if problems:
+            for problem in problems:
+                print(f"FAIL {problem}")
+            raise SystemExit(f"{len(problems)} problem(s) in {args.store}")
+        print(f"ok: {store.num_samples} samples in {store.num_shards} "
+              f"shard(s) verified")
+        return 0
+
+    if args.data_command == "convert":
+        store = ShardedStore.convert_archive(
+            args.archive, args.out, shard_size=args.shard_size)
+        print(f"converted {args.archive} -> {args.out} "
+              f"({store.num_samples} samples, {store.num_shards} shard(s))")
+        return 0
+
+    raise StoreError(f"unknown data command {args.data_command!r}")
+
+
 _COMMANDS = {
     "datagen": cmd_datagen,
     "train": cmd_train,
@@ -262,6 +377,7 @@ _COMMANDS = {
     "table2": cmd_table2,
     "explore": cmd_explore,
     "serve": cmd_serve,
+    "data": cmd_data,
 }
 
 

@@ -1,0 +1,54 @@
+"""Dataset platform: sharded store, parallel generation, streaming loading.
+
+* :mod:`repro.data.store` — fixed-size ``.npz`` shards plus a JSON
+  manifest with provenance, per-shard sha256, and per-sample content
+  hashes; atomic append/merge/verify, and conversion from legacy
+  single-file ``Dataset.save`` archives.
+* :mod:`repro.data.parallel` — the Section-5 per-placement
+  route-and-render work fanned over a ``multiprocessing`` pool, with
+  deterministic per-task seeding so worker-pool builds hash identically
+  to serial ones.
+* :mod:`repro.data.loader` — shard-aware shuffling, dihedral
+  augmentation, and epoch streaming into the trainer without
+  materializing the corpus.
+
+Exposed on the CLI as ``repro data {build,merge,stats,verify,convert}``.
+"""
+
+from repro.data.loader import (
+    NUM_DIHEDRAL,
+    MemoryLoader,
+    StreamingLoader,
+    apply_dihedral,
+    augment_pair,
+)
+from repro.data.parallel import (
+    DesignRecipe,
+    build_design_store,
+    design_recipe,
+    iter_design_samples,
+)
+from repro.data.store import (
+    DEFAULT_SHARD_SIZE,
+    ShardedStore,
+    StoreError,
+    file_sha256,
+    sample_content_hash,
+)
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "DesignRecipe",
+    "MemoryLoader",
+    "NUM_DIHEDRAL",
+    "ShardedStore",
+    "StoreError",
+    "StreamingLoader",
+    "apply_dihedral",
+    "augment_pair",
+    "build_design_store",
+    "design_recipe",
+    "file_sha256",
+    "iter_design_samples",
+    "sample_content_hash",
+]

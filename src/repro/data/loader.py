@@ -1,0 +1,175 @@
+"""Streaming training pipeline: shard-aware shuffling and augmentation.
+
+Both loaders present epochs of ``(x, y)`` mini-batches to
+:meth:`repro.gan.trainer.Pix2PixTrainer.fit_stream`:
+
+* :class:`StreamingLoader` reads a :class:`~repro.data.store.ShardedStore`
+  one shard at a time — peak residency is one shard, not the corpus.
+* :class:`MemoryLoader` wraps an in-memory
+  :class:`~repro.gan.dataset.Dataset`, optionally partitioned into virtual
+  shards of the same size.
+
+Shuffling is *shard-aware*: each epoch draws a shard order, then a
+within-shard order, from one rng seeded by ``(seed, epoch)``.  Because
+both loaders run the identical epoch plan over the same shard partition,
+a streaming run over a store reproduces the in-memory run sample for
+sample — which is what the loss-parity test pins down.
+
+Augmentation applies a dihedral-group transform (rotations and flips)
+jointly to the input stack and the target, drawn per sample from the same
+epoch rng, so augmented runs are reproducible too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.gan.dataset import Dataset, Sample
+
+from repro.data.store import ShardedStore
+
+#: Order of the dihedral group of the square: 4 rotations x optional flip.
+NUM_DIHEDRAL = 8
+
+
+def apply_dihedral(array: np.ndarray, index: int) -> np.ndarray:
+    """Apply dihedral transform ``index`` (0..7) over the last two axes.
+
+    ``index % 4`` counts quarter-turn rotations; ``index >= 4`` adds a
+    horizontal flip before rotating.  Index 0 is the identity and returns
+    the input array itself (a no-op, not a copy).
+    """
+    if not 0 <= index < NUM_DIHEDRAL:
+        raise ValueError(f"dihedral index must be in [0, {NUM_DIHEDRAL}), "
+                         f"got {index}")
+    if index == 0:
+        return array
+    result = array
+    if index >= 4:
+        result = np.flip(result, axis=-1)
+    turns = index % 4
+    if turns:
+        result = np.rot90(result, k=turns, axes=(-2, -1))
+    return np.ascontiguousarray(result)
+
+
+def augment_pair(x: np.ndarray, y: np.ndarray, index: int
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """The same dihedral transform applied jointly to input and target."""
+    return apply_dihedral(x, index), apply_dihedral(y, index)
+
+
+class _ShardLoader:
+    """Epoch iteration over an abstract sequence of sample shards."""
+
+    def __init__(self, batch_size: int = 1, seed: int = 0,
+                 shuffle: bool = True, augment: bool = False):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self.seed = seed
+        self.shuffle = shuffle
+        self.augment = augment
+
+    # Subclasses implement the shard view.
+    def _num_shards(self) -> int:
+        raise NotImplementedError
+
+    def _load_shard(self, index: int) -> list[Sample]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def epoch(self, index: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield one epoch of ``(x, y)`` batches, deterministically.
+
+        The rng is seeded by ``(loader seed, epoch index)``, so epoch N is
+        the same regardless of how many epochs ran before it, and two
+        loaders over the same shard partition yield identical streams.
+        """
+        rng = np.random.default_rng((self.seed, index))
+        num_shards = self._num_shards()
+        shard_order = (rng.permutation(num_shards) if self.shuffle
+                       else np.arange(num_shards))
+        batch_x: list[np.ndarray] = []
+        batch_y: list[np.ndarray] = []
+        for shard_index in shard_order:
+            samples = self._load_shard(int(shard_index))
+            order = (rng.permutation(len(samples)) if self.shuffle
+                     else np.arange(len(samples)))
+            transforms = (rng.integers(0, NUM_DIHEDRAL, size=len(samples))
+                          if self.augment else None)
+            for position, sample_index in enumerate(order):
+                sample = samples[int(sample_index)]
+                x, y = sample.x, sample.y
+                if transforms is not None:
+                    x, y = augment_pair(x, y, int(transforms[position]))
+                batch_x.append(x)
+                batch_y.append(y)
+                if len(batch_x) == self.batch_size:
+                    yield np.stack(batch_x), np.stack(batch_y)
+                    batch_x, batch_y = [], []
+        if batch_x:
+            yield np.stack(batch_x), np.stack(batch_y)
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        return self.epoch(0)
+
+
+class MemoryLoader(_ShardLoader):
+    """The in-memory reference pipeline over a :class:`Dataset`.
+
+    ``shard_size`` partitions the dataset into virtual shards (in dataset
+    order, like the store does on append); ``None`` treats the whole
+    dataset as one shard.
+    """
+
+    def __init__(self, dataset: Dataset, shard_size: int | None = None,
+                 **kwargs):
+        super().__init__(**kwargs)
+        if shard_size is not None and shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        self.dataset = dataset
+        step = shard_size if shard_size is not None else max(1, len(dataset))
+        self._shards = [dataset.samples[i:i + step]
+                        for i in range(0, len(dataset), step)] or [[]]
+
+    def _num_shards(self) -> int:
+        return len(self._shards)
+
+    def _load_shard(self, index: int) -> list[Sample]:
+        return self._shards[index]
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+
+class StreamingLoader(_ShardLoader):
+    """Stream a :class:`ShardedStore` without materializing it.
+
+    One shard is resident at a time; ``peak_resident_samples`` and
+    ``shard_loads`` record the memory/IO behavior so tests (and the bench)
+    can assert the full corpus was never held at once.
+    """
+
+    def __init__(self, store: ShardedStore, **kwargs):
+        super().__init__(**kwargs)
+        self.store = store
+        self.peak_resident_samples = 0
+        self.shard_loads = 0
+
+    def _num_shards(self) -> int:
+        return self.store.num_shards
+
+    def _load_shard(self, index: int) -> list[Sample]:
+        samples = self.store.load_shard(index).samples
+        self.shard_loads += 1
+        self.peak_resident_samples = max(self.peak_resident_samples,
+                                         len(samples))
+        return samples
+
+    def __len__(self) -> int:
+        return self.store.num_samples

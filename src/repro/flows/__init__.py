@@ -13,8 +13,12 @@
 
 from repro.flows.datagen import (
     DesignBundle,
+    DesignContext,
     build_design_bundle,
     build_suite_bundles,
+    make_design_context,
+    route_and_render,
+    suite_image_size,
     sweep_placer_options,
 )
 from repro.flows.exploration import ExplorationOutcome, region_mask, run_exploration
@@ -31,17 +35,21 @@ from repro.flows.realtime import RealtimeFrame, live_forecast
 __all__ = [
     "AblationResult",
     "DesignBundle",
+    "DesignContext",
     "ExplorationOutcome",
     "RealtimeFrame",
     "Table2Row",
     "build_design_bundle",
     "build_suite_bundles",
     "live_forecast",
+    "make_design_context",
     "measure_speedup",
     "region_mask",
+    "route_and_render",
     "run_ablation",
     "run_exploration",
     "run_grayscale_ablation",
     "run_table2",
+    "suite_image_size",
     "sweep_placer_options",
 ]

@@ -9,6 +9,7 @@ are stored channel-first (C, H, W) and normalized from [0, 1] to [-1, 1]
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -90,7 +91,8 @@ class Dataset:
     """An ordered collection of samples from one or more designs."""
 
     def __init__(self, samples: list[Sample] | None = None):
-        self.samples: list[Sample] = list(samples) if samples else []
+        self.samples: list[Sample] = (
+            list(samples) if samples is not None else [])
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -131,13 +133,23 @@ class Dataset:
         return self.excluding_design(design), test
 
     def shuffled(self, rng: np.random.Generator) -> "Dataset":
+        """A reordered copy whose sample list is independent of this one.
+
+        Mutating either dataset (append/extend) never affects the other;
+        the :class:`Sample` objects themselves are shared.
+        """
         order = rng.permutation(len(self.samples))
-        return Dataset([self.samples[i] for i in order])
+        return Dataset([self.samples[int(i)] for i in order])
 
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Serialize to compressed npz (arrays plus per-sample metadata)."""
+        """Serialize to compressed npz (arrays plus per-sample metadata).
+
+        The write is atomic: the archive is staged next to ``path`` and
+        moved into place with ``os.replace``, so an interrupted save can
+        never leave a truncated archive at the destination.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         arrays: dict[str, np.ndarray] = {}
@@ -149,7 +161,15 @@ class Dataset:
                          sample.route_seconds, sample.place_seconds,
                          int(sample.converged), repr(sample.placer_options)))
         arrays["meta"] = np.array(meta, dtype=object)
-        np.savez_compressed(path, **arrays)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            # Write through a file object so numpy cannot append ".npz"
+            # to the staging name.
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     @classmethod
     def load(cls, path: str | Path) -> "Dataset":

@@ -78,6 +78,45 @@ class Pix2PixTrainer:
         self.history.extend(run)
         return run
 
+    def fit_stream(self, loader, epochs: int,
+                   log_every: int | None = None) -> TrainHistory:
+        """Train from a :mod:`repro.data.loader` epoch stream.
+
+        ``loader`` is anything with ``epoch(index) -> iterator of (x, y)
+        batches`` (``StreamingLoader`` for sharded stores, ``MemoryLoader``
+        for in-memory datasets).  Unlike :meth:`fit`, the sample order
+        comes from the loader's own seed, so a streaming run is
+        reproducible independent of this trainer's rng.  Loss averages are
+        per sample, weighting uneven final batches correctly.
+        """
+        run = TrainHistory()
+        for epoch in range(epochs):
+            start = time.perf_counter()
+            sums = np.zeros(4)
+            count = 0
+            for x_batch, y_batch in loader.epoch(epoch):
+                losses = self.model.train_step(x_batch, y_batch)
+                weight = x_batch.shape[0]
+                sums += weight * np.array(
+                    (losses.g_total, losses.g_gan, losses.g_l1,
+                     losses.d_total))
+                count += weight
+            if count == 0:
+                raise ValueError("loader yielded no samples")
+            averages = sums / count
+            run.g_total.append(float(averages[0]))
+            run.g_gan.append(float(averages[1]))
+            run.g_l1.append(float(averages[2]))
+            run.d_total.append(float(averages[3]))
+            run.epoch_seconds.append(time.perf_counter() - start)
+            if log_every and (epoch + 1) % log_every == 0:
+                print(f"  epoch {epoch + 1}/{epochs}: "
+                      f"G={averages[0]:.4f} (gan {averages[1]:.4f}, "
+                      f"l1 {averages[2]:.4f}) D={averages[3]:.4f} "
+                      f"[{count} samples]")
+        self.history.extend(run)
+        return run
+
     def fine_tune(self, dataset: Dataset, epochs: int,
                   lr_scale: float = 0.2) -> TrainHistory:
         """Strategy-2 transfer update on a few test-design pairs.

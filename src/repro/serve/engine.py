@@ -91,6 +91,7 @@ class BatchingEngine:
         self._requests = 0
         self._batches = 0
         self._batched_requests = 0
+        self._batch_occupancy_hist: dict[int, int] = {}
         self._max_occupancy = 0
         self._forward_seconds = 0.0
         self._latency_seconds = 0.0
@@ -230,6 +231,8 @@ class BatchingEngine:
         with self._stats_lock:
             self._batches += 1
             self._batched_requests += len(batch)
+            self._batch_occupancy_hist[len(batch)] = (
+                self._batch_occupancy_hist.get(len(batch), 0) + 1)
             self._max_occupancy = max(self._max_occupancy, len(batch))
         # One forward per distinct model, in arrival order of first request.
         groups: dict[str, list[_Request]] = {}
@@ -278,6 +281,10 @@ class BatchingEngine:
                 "mean_batch_occupancy": (
                     self._batched_requests / batches if batches else 0.0),
                 "max_batch_occupancy": self._max_occupancy,
+                # Micro-batch size histogram: {occupancy: batch count}.
+                "batch_occupancy_histogram": {
+                    str(size): count for size, count in
+                    sorted(self._batch_occupancy_hist.items())},
                 "forward_seconds_total": self._forward_seconds,
                 "mean_latency_ms": (
                     1e3 * self._latency_seconds / self._completed
@@ -286,6 +293,14 @@ class BatchingEngine:
                 "max_wait_ms": self.max_wait_ms,
                 "queue_depth": self._queue.qsize(),
             }
+        # Forecast-cache hit/miss counters, surfaced at the top level next
+        # to the batching counters (the cache itself owns the state).
         if self.cache is not None:
-            snapshot["cache"] = self.cache.stats()
+            cache_stats = self.cache.stats()
+            snapshot["cache"] = cache_stats
+            snapshot["cache_hits"] = cache_stats["hits"]
+            snapshot["cache_misses"] = cache_stats["misses"]
+        else:
+            snapshot["cache_hits"] = 0
+            snapshot["cache_misses"] = 0
         return snapshot

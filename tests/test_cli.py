@@ -150,3 +150,74 @@ class TestCheckpointing:
         assert restored.config == model.config
         np.testing.assert_allclose(
             restored.generate(x, sample_noise=False), expected, atol=1e-6)
+
+
+class TestDataCommands:
+    def test_data_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["data", "build", "--out", "store", "--scale", "smoke"])
+        assert args.data_command == "build"
+        assert args.workers == 0
+        assert args.shard_size == 16
+
+    def test_data_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["data"])
+
+    def test_build_verify_stats_roundtrip(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        code = main(["data", "build", "--designs", "diffeq1",
+                     "--placements", "2", "--workers", "2",
+                     "--shard-size", "1", "--out", str(store_dir),
+                     "--scale", "smoke", "--seed", "3"])
+        assert code == 0
+        assert main(["data", "verify", str(store_dir)]) == 0
+        assert main(["data", "stats", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 2 samples in 2 shard(s)" in out
+        assert "verified" in out
+        assert "num_samples" in out
+
+    def test_verify_fails_on_corruption(self, tmp_path, capsys):
+        from repro.data import ShardedStore
+
+        store_dir = tmp_path / "store"
+        main(["data", "build", "--designs", "diffeq1", "--placements", "2",
+              "--shard-size", "2", "--out", str(store_dir),
+              "--scale", "smoke", "--seed", "3"])
+        store = ShardedStore.open(store_dir)
+        shard = store_dir / store.manifest["shards"][0]["name"]
+        shard.write_bytes(b"not an npz")
+        with pytest.raises(SystemExit, match="problem"):
+            main(["data", "verify", str(store_dir)])
+
+    def test_convert_and_merge(self, tmp_path, capsys):
+        from repro.data import ShardedStore
+
+        archive = tmp_path / "legacy.npz"
+        main(["datagen", "--design", "diffeq1", "--placements", "2",
+              "--out", str(archive), "--scale", "smoke", "--seed", "3"])
+        converted = tmp_path / "converted"
+        assert main(["data", "convert", str(archive),
+                     "--out", str(converted)]) == 0
+        merged = tmp_path / "merged"
+        assert main(["data", "merge", str(converted),
+                     "--out", str(merged), "--shard-size", "4"]) == 0
+        store = ShardedStore.open(merged)
+        assert store.num_samples == 2
+        assert store.verify() == []
+
+    def test_invalid_shard_size_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="shard_size"):
+            main(["data", "build", "--designs", "diffeq1",
+                  "--placements", "1", "--shard-size", "0",
+                  "--out", str(tmp_path / "s"), "--scale", "smoke"])
+
+    def test_build_onto_existing_store_exits(self, tmp_path):
+        store_dir = tmp_path / "store"
+        main(["data", "build", "--designs", "diffeq1", "--placements", "1",
+              "--out", str(store_dir), "--scale", "smoke", "--seed", "3"])
+        with pytest.raises(SystemExit, match="already exists"):
+            main(["data", "build", "--designs", "diffeq1",
+                  "--placements", "1", "--out", str(store_dir),
+                  "--scale", "smoke", "--seed", "3"])

@@ -1,0 +1,96 @@
+"""Property tests for dihedral augmentation correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import NUM_DIHEDRAL, apply_dihedral, augment_pair
+
+INDICES = st.integers(0, NUM_DIHEDRAL - 1)
+
+
+def random_pair(seed: int, size: int = 6):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(4, size, size)).astype(np.float32)
+    y = rng.normal(size=(3, size, size)).astype(np.float32)
+    return x, y
+
+
+class TestApplyDihedral:
+    def test_identity_is_noop(self):
+        x, _ = random_pair(0)
+        out = apply_dihedral(x, 0)
+        assert out is x                      # not even a copy
+
+    @settings(max_examples=NUM_DIHEDRAL, deadline=None)
+    @given(index=INDICES)
+    def test_preserves_shape_and_values(self, index):
+        x, _ = random_pair(1)
+        out = apply_dihedral(x, index)
+        assert out.shape == x.shape
+        np.testing.assert_allclose(np.sort(out.ravel()),
+                                   np.sort(x.ravel()))
+
+    def test_all_eight_transforms_distinct(self):
+        x, _ = random_pair(2)
+        images = [apply_dihedral(x, i) for i in range(NUM_DIHEDRAL)]
+        for i in range(NUM_DIHEDRAL):
+            for j in range(i + 1, NUM_DIHEDRAL):
+                assert not np.array_equal(images[i], images[j]), (i, j)
+
+    @settings(max_examples=NUM_DIHEDRAL, deadline=None)
+    @given(index=INDICES)
+    def test_transforms_channels_jointly(self, index):
+        """Every channel undergoes the same spatial transform."""
+        x, _ = random_pair(3)
+        out = apply_dihedral(x, index)
+        for channel in range(x.shape[0]):
+            np.testing.assert_array_equal(
+                out[channel], apply_dihedral(x[channel], index))
+
+    def test_rejects_invalid_index(self):
+        x, _ = random_pair(4)
+        with pytest.raises(ValueError):
+            apply_dihedral(x, NUM_DIHEDRAL)
+        with pytest.raises(ValueError):
+            apply_dihedral(x, -1)
+
+
+class TestAugmentPair:
+    @settings(max_examples=24, deadline=None)
+    @given(index=INDICES, seed=st.integers(0, 100))
+    def test_input_and_target_get_identical_transform(self, index, seed):
+        """The acceptance property: whatever dihedral transform hits the
+        input stack hits the target identically — congestion stays over
+        the tiles that produced it."""
+        x, y = random_pair(seed)
+        out_x, out_y = augment_pair(x, y, index)
+        np.testing.assert_array_equal(out_x, apply_dihedral(x, index))
+        np.testing.assert_array_equal(out_y, apply_dihedral(y, index))
+        # Spatial alignment: a marker planted at one pixel of both arrays
+        # lands at the same (row, col) in both outputs.
+        marked_x = np.zeros_like(x)
+        marked_y = np.zeros_like(y)
+        marked_x[0, 1, 2] = 1.0
+        marked_y[0, 1, 2] = 1.0
+        moved_x, moved_y = augment_pair(marked_x, marked_y, index)
+        assert (np.argwhere(moved_x[0] == 1.0).tolist()
+                == np.argwhere(moved_y[0] == 1.0).tolist())
+
+    def test_identity_pair_is_noop(self):
+        x, y = random_pair(5)
+        out_x, out_y = augment_pair(x, y, 0)
+        assert out_x is x
+        assert out_y is y
+
+    @settings(max_examples=NUM_DIHEDRAL, deadline=None)
+    @given(index=INDICES)
+    def test_involution_or_inverse_exists(self, index):
+        """Each transform has an inverse within the group (it permutes
+        pixels), so some second transform restores the original."""
+        x, _ = random_pair(6)
+        transformed = apply_dihedral(x, index)
+        restored = [np.array_equal(apply_dihedral(transformed, j), x)
+                    for j in range(NUM_DIHEDRAL)]
+        assert any(restored)

@@ -1,0 +1,89 @@
+"""Parallel generation tests: worker-pool builds match serial builds."""
+
+import numpy as np
+import pytest
+
+from repro.config import SMOKE
+from repro.data import ShardedStore, build_design_store, sample_content_hash
+from repro.flows import build_design_bundle
+from repro.fpga.generators import scaled_suite
+
+
+@pytest.fixture(scope="module")
+def stores(tmp_path_factory):
+    """The same smoke build, serial and with a 2-worker pool."""
+    root = tmp_path_factory.mktemp("stores")
+    spec = scaled_suite(SMOKE)[0]
+    serial = build_design_store(spec, SMOKE, root / "serial",
+                                num_placements=4, seed=3, workers=0,
+                                shard_size=2)
+    parallel = build_design_store(spec, SMOKE, root / "parallel",
+                                  num_placements=4, seed=3, workers=2,
+                                  shard_size=2)
+    return serial, parallel
+
+
+class TestDeterminism:
+    def test_worker_pool_matches_serial_hashes(self, stores):
+        serial, parallel = stores
+        assert serial.sample_hashes == parallel.sample_hashes
+        assert serial.num_samples == parallel.num_samples == 4
+
+    def test_manifest_structure_equivalent(self, stores):
+        serial, parallel = stores
+        for key in ("image_size", "input_channels", "target_channels",
+                    "designs", "shard_size"):
+            assert serial.manifest[key] == parallel.manifest[key]
+        assert ([s["num_samples"] for s in serial.manifest["shards"]]
+                == [s["num_samples"] for s in parallel.manifest["shards"]])
+
+    def test_samples_equal_arrays(self, stores):
+        serial, parallel = stores
+        for a, b in zip(serial.iter_samples(), parallel.iter_samples()):
+            np.testing.assert_array_equal(a.x, b.x)
+            np.testing.assert_array_equal(a.y, b.y)
+            assert a.placer_options == b.placer_options
+            assert a.true_congestion == b.true_congestion
+
+    def test_both_verify_clean(self, stores):
+        serial, parallel = stores
+        assert serial.verify() == []
+        assert parallel.verify() == []
+
+    def test_matches_legacy_bundle_pipeline(self, stores):
+        """The store build emits the same samples as build_design_bundle."""
+        serial, _ = stores
+        spec = scaled_suite(SMOKE)[0]
+        bundle = build_design_bundle(spec, SMOKE, num_placements=4, seed=3)
+        assert ([sample_content_hash(s) for s in bundle.dataset]
+                == serial.sample_hashes)
+
+
+class TestProvenance:
+    def test_build_records_provenance(self, stores):
+        serial, parallel = stores
+        record = serial.manifest["provenance"][0]
+        assert record["design"] == "diffeq1"
+        assert record["num_placements"] == 4
+        assert record["seed"] == 3
+        assert record["workers"] == 0
+        assert parallel.manifest["provenance"][0]["workers"] == 2
+
+    def test_channel_width_in_metadata(self, stores):
+        serial, parallel = stores
+        assert serial.metadata["channel_width"] == \
+            parallel.metadata["channel_width"]
+
+
+class TestMultiDesignAppend:
+    def test_appending_second_design(self, tmp_path):
+        specs = scaled_suite(SMOKE)[:2]
+        store = build_design_store(specs[0], SMOKE, tmp_path / "s",
+                                   num_placements=2, seed=1, shard_size=4)
+        build_design_store(specs[1], SMOKE, tmp_path / "s",
+                           num_placements=2, seed=1, shard_size=4,
+                           image_size=store.image_size, store=store)
+        assert store.num_samples == 4
+        assert store.designs == [specs[0].name, specs[1].name]
+        assert len(store.manifest["provenance"]) == 2
+        assert store.verify() == []

@@ -71,6 +71,13 @@ class TestExamples:
         assert "forecasts/s" in result.stdout
         assert (out_dir / "serve" / "forecast.png").exists()
 
+    def test_data_pipeline(self, tmp_path, out_dir):
+        result = run_example("data_pipeline.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "verify: ok" in result.stdout
+        assert "peak residency" in result.stdout
+        assert (out_dir / "data" / "store" / "manifest.json").exists()
+
     def test_packing_flow(self, tmp_path, out_dir):
         result = run_example("packing_flow.py", tmp_path)
         assert result.returncode == 0, result.stderr

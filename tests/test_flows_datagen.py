@@ -91,6 +91,43 @@ class TestBundle:
         assert (cached.placements[0].site_of
                 == fresh.placements[0].site_of)
 
+    def test_cache_is_a_sharded_store(self, tmp_path):
+        from repro.data import ShardedStore
+
+        spec = scaled_suite(SMOKE)[1]
+        build_design_bundle(spec, SMOKE, num_placements=2, seed=3,
+                            cache_dir=tmp_path)
+        stores = [p for p in tmp_path.iterdir()
+                  if ShardedStore.is_store(p)]
+        assert len(stores) == 1
+        store = ShardedStore.open(stores[0])
+        assert store.num_samples == 2
+        assert "channel_width" in store.metadata
+        assert store.verify() == []
+
+    def test_legacy_single_file_cache_converted(self, tmp_path):
+        """Old <stem>.npz + <stem>.json caches load via conversion."""
+        import json
+
+        from repro.data import ShardedStore
+
+        from repro.flows.datagen import _SWEEP_VERSION
+
+        spec = scaled_suite(SMOKE)[1]
+        fresh = build_design_bundle(spec, SMOKE, num_placements=2, seed=3)
+        stem = (f"{SMOKE.name}_{spec.name}_n2_s3"
+                f"_w{fresh.layout.image_size}_cw{SMOKE.connect_weight}"
+                f"_v{_SWEEP_VERSION}")
+        fresh.dataset.save(tmp_path / f"{stem}.npz")
+        (tmp_path / f"{stem}.json").write_text(json.dumps(
+            {"channel_width": fresh.channel_width, "grid_width": 5}))
+        cached = build_design_bundle(spec, SMOKE, num_placements=2, seed=3,
+                                     cache_dir=tmp_path)
+        assert ShardedStore.is_store(tmp_path / stem)
+        assert cached.channel_width == fresh.channel_width
+        np.testing.assert_array_equal(cached.dataset[1].x,
+                                      fresh.dataset[1].x)
+
 
 class TestSuiteBundles:
     def test_shared_image_size_and_subset(self):

@@ -187,3 +187,50 @@ class TestMultiModel:
         for i, (x, result) in enumerate(zip(tiny_inputs[:8], results)):
             expected = (tiny_model if i % 2 else other).forecast(x)
             assert np.array_equal(result.image, expected)
+
+
+class TestObservability:
+    def test_batch_occupancy_histogram(self, registry, tiny_inputs):
+        with BatchingEngine(registry, max_batch=1,
+                            max_wait_ms=0.0) as engine:
+            for x in tiny_inputs[:3]:
+                engine.forecast("tiny", x, timeout=30.0)
+            stats = engine.stats()
+        histogram = stats["batch_occupancy_histogram"]
+        assert histogram == {"1": 3}
+        assert sum(int(size) * count
+                   for size, count in histogram.items()) \
+            == stats["batched_requests"]
+
+    def test_histogram_counts_larger_batches(self, registry, tiny_inputs):
+        with BatchingEngine(registry, max_batch=8,
+                            max_wait_ms=50.0) as engine:
+            futures = [engine.submit("tiny", x) for x in tiny_inputs[:6]]
+            for future in futures:
+                future.result(timeout=30.0)
+            stats = engine.stats()
+        histogram = stats["batch_occupancy_histogram"]
+        assert sum(int(size) * count
+                   for size, count in histogram.items()) == 6
+        assert any(int(size) > 1 for size in histogram)
+
+    def test_cache_hit_miss_counters(self, registry, tiny_inputs):
+        cache = ForecastCache(capacity=8)
+        with BatchingEngine(registry, max_batch=2, max_wait_ms=0.0,
+                            cache=cache) as engine:
+            engine.forecast("tiny", tiny_inputs[0], timeout=30.0)  # miss
+            engine.forecast("tiny", tiny_inputs[0], timeout=30.0)  # hit
+            engine.forecast("tiny", tiny_inputs[1], timeout=30.0)  # miss
+            stats = engine.stats()
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 2
+        assert stats["cache"]["hits"] == 1
+        assert stats["cache"]["misses"] == 2
+
+    def test_counters_zero_without_cache(self, registry, tiny_inputs):
+        with BatchingEngine(registry, max_wait_ms=0.0) as engine:
+            engine.forecast("tiny", tiny_inputs[0], timeout=30.0)
+            stats = engine.stats()
+        assert stats["cache_hits"] == 0
+        assert stats["cache_misses"] == 0
+        assert "cache" not in stats

@@ -84,6 +84,12 @@ class TestEndpoints:
         assert metrics["engine"]["requests"] >= 1
         assert metrics["engine"]["cache"]["capacity"] == 16
         assert metrics["http"]["requests_by_route"]["/v1/forecast"] >= 1
+        # Observability satellites: batch-size histogram + cache counters
+        # are served over /metrics like every other counter.
+        histogram = metrics["engine"]["batch_occupancy_histogram"]
+        assert sum(histogram.values()) == metrics["engine"]["batches"]
+        assert (metrics["engine"]["cache_hits"]
+                + metrics["engine"]["cache_misses"]) >= 1
 
     def test_concurrent_http_clients_share_batches(self, server,
                                                    tiny_model):
