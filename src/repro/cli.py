@@ -13,6 +13,10 @@ Commands mirror the flows API:
 * ``data``     — sharded dataset store operations: ``build`` (parallel
   generation workers), ``merge``, ``stats``, ``verify``, and ``convert``
   for legacy single-file archives.
+* ``eval``     — streaming evaluation over a sharded store: ``run`` a
+  checkpoint or baseline against ground truth (deterministic JSON
+  report), ``compare`` two reports with per-metric tolerances, and
+  score all ``baselines``.
 
 All experiment commands accept ``--scale {smoke,default,paper}``.
 """
@@ -146,6 +150,59 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--out", type=Path, required=True,
                          help="output store directory")
     convert.add_argument("--shard-size", type=int, default=16)
+
+    evaluate = commands.add_parser(
+        "eval", help="streaming evaluation: run/compare/baselines")
+    eval_commands = evaluate.add_subparsers(dest="eval_command",
+                                            required=True)
+
+    def _add_eval_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--store", type=Path, required=True,
+                            help="sharded dataset store directory")
+        parser.add_argument("--split", default="all",
+                            help="'all', 'design:<name>', or "
+                                 "'holdout:<name>' (leave-one-design-out)")
+        parser.add_argument("--batch-size", type=int, default=16)
+        parser.add_argument("--thresholds", default="0.5,0.7",
+                            help="comma-separated hotspot congestion "
+                                 "thresholds")
+        parser.add_argument("--roc-threshold", type=float, default=0.5,
+                            help="target threshold for the ROC sweep")
+
+    run = eval_commands.add_parser(
+        "run", help="evaluate one checkpoint or baseline over a store")
+    _add_eval_options(run)
+    run.add_argument("--checkpoint", type=Path, default=None,
+                     help="model checkpoint .npz path")
+    run.add_argument("--checkpoints", type=Path, default=None,
+                     help="checkpoint directory (serve registry layout)")
+    run.add_argument("--model", default=None,
+                     help="model id within --checkpoints (file stem)")
+    run.add_argument("--baseline", default=None,
+                     help="baseline name (see 'eval baselines')")
+    run.add_argument("--workers", type=int, default=1,
+                     help="shard-parallel worker processes (checkpoint "
+                          "runs only; results are worker-count invariant)")
+    run.add_argument("--out", type=Path, default=None,
+                     help="write the JSON report here")
+
+    compare = eval_commands.add_parser(
+        "compare", help="diff two eval reports with tolerances")
+    compare.add_argument("report_a", type=Path)
+    compare.add_argument("report_b", type=Path)
+    compare.add_argument("--tolerance", action="append", default=[],
+                         metavar="METRIC=TOL",
+                         help="per-metric absolute tolerance (repeatable)")
+    compare.add_argument("--default-tolerance", type=float, default=1e-9,
+                         help="absolute tolerance for unlisted metrics")
+    compare.add_argument("--allow-different-data", action="store_true",
+                         help="do not fail on dataset fingerprint mismatch")
+
+    baselines = eval_commands.add_parser(
+        "baselines", help="score every non-learned baseline over a store")
+    _add_eval_options(baselines)
+    baselines.add_argument("--out-dir", type=Path, default=None,
+                           help="write one JSON report per baseline here")
 
     return parser
 
@@ -370,6 +427,126 @@ def _run_data(args) -> int:
     raise StoreError(f"unknown data command {args.data_command!r}")
 
 
+def _parse_thresholds(text: str) -> tuple:
+    try:
+        values = tuple(float(part) for part in text.split(",") if part)
+    except ValueError:
+        raise SystemExit(f"error: bad thresholds {text!r}") from None
+    if not values:
+        raise SystemExit("error: need at least one hotspot threshold")
+    return values
+
+
+def _print_metrics(report: dict) -> None:
+    for name in sorted(report["metrics"]):
+        print(f"  {name:<24} {report['metrics'][name]:.6f}")
+
+
+def cmd_eval(args) -> int:
+    from repro.data import StoreError
+
+    try:
+        return _run_eval(args)
+    except KeyError as error:
+        # ModelRegistry.get raises KeyError with a readable message.
+        raise SystemExit(f"error: {error.args[0]}") from None
+    except (FileNotFoundError, StoreError, ValueError) as error:
+        raise SystemExit(f"error: {error}") from None
+
+
+def _run_eval(args) -> int:
+    from repro.data import ShardedStore
+    from repro.eval import (
+        BASELINES,
+        CheckpointForecaster,
+        compare_reports,
+        evaluate_store,
+        evaluation_report,
+        load_report,
+        make_baseline,
+        parse_split,
+        write_report,
+    )
+
+    if args.eval_command == "compare":
+        tolerances = {}
+        for item in args.tolerance:
+            name, _, value = item.partition("=")
+            if not name or not value:
+                raise SystemExit(f"error: bad --tolerance {item!r} "
+                                 f"(expected METRIC=TOL)")
+            tolerances[name] = float(value)
+        comparison = compare_reports(
+            load_report(args.report_a), load_report(args.report_b),
+            tolerances=tolerances,
+            default_tolerance=args.default_tolerance,
+            require_same_data=not args.allow_different_data)
+        print(f"comparing {args.report_a} -> {args.report_b}")
+        print(comparison.format())
+        if not comparison.ok:
+            raise SystemExit(1)
+        return 0
+
+    store = ShardedStore.open(args.store)
+    split = parse_split(args.split)
+    thresholds = _parse_thresholds(args.thresholds)
+    eval_kwargs = dict(split=split, thresholds=thresholds,
+                       roc_threshold=args.roc_threshold,
+                       batch_size=args.batch_size)
+
+    if args.eval_command == "run":
+        chosen = [bool(args.checkpoint),
+                  bool(args.checkpoints and args.model), bool(args.baseline)]
+        if sum(chosen) != 1:
+            raise SystemExit(
+                "error: choose exactly one of --checkpoint, "
+                "--checkpoints + --model, or --baseline")
+        if args.checkpoint:
+            forecaster = CheckpointForecaster.from_checkpoint(
+                args.checkpoint)
+            identity = forecaster.identity
+        elif args.baseline:
+            forecaster, identity = make_baseline(args.baseline, store, split)
+        else:
+            from repro.serve import ModelRegistry
+
+            registry = ModelRegistry.from_directory(args.checkpoints)
+            forecaster = CheckpointForecaster.from_registry(
+                registry, args.model)
+            identity = forecaster.identity
+        result = evaluate_store(store, forecaster, workers=args.workers,
+                                **eval_kwargs)
+        report = evaluation_report(store, result, identity, split,
+                                   thresholds=thresholds,
+                                   roc_threshold=args.roc_threshold,
+                                   batch_size=args.batch_size)
+        print(f"evaluated {identity['id']} on {result.num_samples} "
+              f"sample(s) [{args.split}]")
+        _print_metrics(report)
+        if args.out is not None:
+            write_report(args.out, report)
+            print(f"report written to {args.out}")
+        return 0
+
+    if args.eval_command == "baselines":
+        for name in sorted(BASELINES):
+            forecaster, identity = make_baseline(name, store, split)
+            result = evaluate_store(store, forecaster, **eval_kwargs)
+            report = evaluation_report(store, result, identity, split,
+                                       thresholds=thresholds,
+                                       roc_threshold=args.roc_threshold,
+                                       batch_size=args.batch_size)
+            print(f"{name} ({result.num_samples} sample(s), {args.split}):")
+            _print_metrics(report)
+            if args.out_dir is not None:
+                path = args.out_dir / f"{name}.json"
+                write_report(path, report)
+                print(f"  report written to {path}")
+        return 0
+
+    raise SystemExit(f"error: unknown eval command {args.eval_command!r}")
+
+
 _COMMANDS = {
     "datagen": cmd_datagen,
     "train": cmd_train,
@@ -378,6 +555,7 @@ _COMMANDS = {
     "explore": cmd_explore,
     "serve": cmd_serve,
     "data": cmd_data,
+    "eval": cmd_eval,
 }
 
 

@@ -21,6 +21,8 @@ from repro.data.loader import (
     StreamingLoader,
     apply_dihedral,
     augment_pair,
+    iter_eval_batches,
+    shard_eval_arrays,
 )
 from repro.data.parallel import (
     DesignRecipe,
@@ -50,5 +52,7 @@ __all__ = [
     "design_recipe",
     "file_sha256",
     "iter_design_samples",
+    "iter_eval_batches",
     "sample_content_hash",
+    "shard_eval_arrays",
 ]

@@ -61,6 +61,42 @@ def augment_pair(x: np.ndarray, y: np.ndarray, index: int
     return apply_dihedral(x, index), apply_dihedral(y, index)
 
 
+def shard_eval_arrays(store: ShardedStore, shard_index: int,
+                      batch_size: int = 16,
+                      designs: list[str] | None = None
+                      ) -> Iterator[tuple[np.ndarray, np.ndarray,
+                                          list[str]]]:
+    """One shard's samples as eval-order ``(x, y, designs)`` batches.
+
+    Evaluation iteration is deterministic by construction: samples come
+    out in manifest order with no shuffling and no augmentation, so two
+    runs (or two workers handed the same shard) see identical batches.
+    ``designs`` restricts to a subset of designs (split filtering) before
+    batching, keeping batch boundaries independent of other shards.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    samples = store.load_shard(shard_index).samples
+    if designs is not None:
+        wanted = set(designs)
+        samples = [sample for sample in samples if sample.design in wanted]
+    for start in range(0, len(samples), batch_size):
+        chunk = samples[start:start + batch_size]
+        yield (np.stack([sample.x for sample in chunk]),
+               np.stack([sample.y for sample in chunk]),
+               [sample.design for sample in chunk])
+
+
+def iter_eval_batches(store: ShardedStore, batch_size: int = 16,
+                      designs: list[str] | None = None
+                      ) -> Iterator[tuple[np.ndarray, np.ndarray,
+                                          list[str]]]:
+    """Stream a whole store in eval order, one shard resident at a time."""
+    for shard_index in range(store.num_shards):
+        yield from shard_eval_arrays(store, shard_index,
+                                     batch_size=batch_size, designs=designs)
+
+
 class _ShardLoader:
     """Epoch iteration over an abstract sequence of sample shards."""
 

@@ -1,0 +1,93 @@
+"""Evaluation platform: metric registry, streaming runner, golden reports.
+
+The paper judges forecasts with image-level error between painted and
+ground-truth heat maps (Section 5.1); follow-up work adds hotspot-level
+detection metrics (LHNN, DAC'22) and cross-design generalization splits.
+This package is the single place that answers "did this change make the
+model better or worse?":
+
+* :mod:`repro.eval.metrics` — batched, vectorized metrics over
+  ``(N, C, H, W)`` arrays (NRMS, MAE/RMSE, SSIM, hotspot
+  precision/recall/IoU, ROC/AUC) behind a named registry.
+* :mod:`repro.eval.runner`  — streams shards from a
+  :class:`~repro.data.store.ShardedStore` (one-shard residency, optional
+  shard-parallel workers), forecasts with any serve-registry checkpoint
+  or non-learned baseline, and folds per-sample values deterministically.
+* :mod:`repro.eval.report`  — byte-stable JSON reports (dataset
+  fingerprint + checkpoint identity, no timestamps) and the tolerance
+  diff behind ``repro eval compare`` and the golden regression gate.
+
+Exposed on the CLI as ``repro eval {run,compare,baselines}``.
+"""
+
+from repro.eval.metrics import (
+    METRICS,
+    Metric,
+    aggregate,
+    batched_accuracy,
+    compute_per_sample,
+    hotspot_iou,
+    hotspot_precision,
+    hotspot_recall,
+    metric_suite,
+    nrms,
+    pixel_mae,
+    pixel_rmse,
+    roc_auc,
+    roc_curve,
+    ssim,
+    utilization_map,
+)
+from repro.eval.report import (
+    Comparison,
+    MetricDiff,
+    compare_reports,
+    dataset_fingerprint,
+    load_report,
+    render_report,
+    write_report,
+)
+from repro.eval.runner import (
+    BASELINES,
+    CheckpointForecaster,
+    EvalResult,
+    SplitSpec,
+    evaluate_store,
+    evaluation_report,
+    make_baseline,
+    parse_split,
+)
+
+__all__ = [
+    "BASELINES",
+    "Comparison",
+    "CheckpointForecaster",
+    "EvalResult",
+    "METRICS",
+    "Metric",
+    "MetricDiff",
+    "SplitSpec",
+    "aggregate",
+    "batched_accuracy",
+    "compare_reports",
+    "compute_per_sample",
+    "dataset_fingerprint",
+    "evaluate_store",
+    "evaluation_report",
+    "hotspot_iou",
+    "hotspot_precision",
+    "hotspot_recall",
+    "load_report",
+    "make_baseline",
+    "metric_suite",
+    "nrms",
+    "parse_split",
+    "pixel_mae",
+    "pixel_rmse",
+    "render_report",
+    "roc_auc",
+    "roc_curve",
+    "ssim",
+    "utilization_map",
+    "write_report",
+]

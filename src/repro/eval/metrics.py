@@ -1,0 +1,452 @@
+"""Batched image-quality metrics and the metric registry.
+
+Every metric here evaluates a batch of forecast heat maps against ground
+truth in one vectorized pass over ``(N, C, H, W)`` arrays of [0, 1] image
+values, returning one float64 value *per sample* — the registry's
+contract, which is what makes per-sample breakdowns, deterministic
+aggregation across shards, and the batched-vs-loop equality property all
+fall out of the same code path.  A single ``(C, H, W)`` image is accepted
+everywhere and returns a plain float.
+
+Metrics:
+
+* :func:`pixel_mae` / :func:`pixel_rmse` — plain pixel error.
+* :func:`nrms` — the paper's image-level error: RMS error normalized by
+  the ground-truth dynamic range.  A zero-variance (flat) target makes
+  the conventional normalizer 0/0; here the normalizer falls back to 1
+  so a flat target scores its raw RMS error instead of NaN.
+* :func:`batched_accuracy` — the paper's per-pixel accuracy (worst
+  channel within 16/255), vectorized over the batch.
+* :func:`ssim` — mean local SSIM over a uniform window (integral-image
+  window sums, so the batch dimension stays vectorized).
+* :func:`hotspot_precision` / :func:`hotspot_recall` /
+  :func:`hotspot_iou` — hotspot detection quality after binarizing the
+  *decoded utilization* (see :func:`utilization_map`) at a congestion
+  threshold.  Empty hotspot sets take their limit values (no predicted
+  and no true hotspots agree perfectly) instead of dividing by zero.
+* :func:`roc_auc` — threshold-sweep ROC area for hotspot detection.
+  Single-class targets (no hotspot pixels, or all pixels hot) admit no
+  ranking error, so they score 1.0 by convention.
+
+:func:`metric_suite` assembles a named, ordered suite of parameter-bound
+metrics — the registry that :mod:`repro.eval.runner` iterates and that
+``METRICS`` instantiates with the default thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.gan.metrics import DEFAULT_TOLERANCE
+from repro.viz.colors import COLOR_SCHEME, decode_utilization
+
+#: Paper tolerance for per-pixel accuracy: 16 8-bit steps (the same
+#: constant :func:`repro.gan.metrics.per_pixel_accuracy` uses, imported
+#: so the two can never drift apart).
+ACCURACY_TOLERANCE = DEFAULT_TOLERANCE
+
+#: Default congestion thresholds for the hotspot metrics.
+DEFAULT_THRESHOLDS = (0.5, 0.7)
+
+#: Default target threshold for the ROC sweep.
+DEFAULT_ROC_THRESHOLD = 0.5
+
+#: Prediction thresholds swept for the ROC curve (ascending, in [0, 1]).
+NUM_ROC_THRESHOLDS = 33
+
+#: SSIM constants for a data range of 1.0 (the standard K1/K2).
+_SSIM_C1 = 0.01 ** 2
+_SSIM_C2 = 0.03 ** 2
+DEFAULT_SSIM_WINDOW = 7
+
+
+def _as_batch(pred: np.ndarray, target: np.ndarray
+              ) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Promote to float64 ``(N, C, H, W)``; remember if input was single."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: prediction {pred.shape} vs target "
+            f"{target.shape}")
+    if pred.ndim == 3:
+        return pred[None], target[None], True
+    if pred.ndim != 4:
+        raise ValueError(
+            f"expected (C, H, W) or (N, C, H, W) arrays, got {pred.shape}")
+    return pred, target, False
+
+
+def _per_sample(values: np.ndarray, single: bool) -> np.ndarray | float:
+    values = np.asarray(values, dtype=np.float64)
+    return float(values[0]) if single else values
+
+
+# -- pixel-error metrics ---------------------------------------------------
+
+
+def pixel_mae(pred: np.ndarray, target: np.ndarray) -> np.ndarray | float:
+    """Mean absolute pixel error over channels and pixels."""
+    pred, target, single = _as_batch(pred, target)
+    return _per_sample(np.abs(pred - target).mean(axis=(1, 2, 3)), single)
+
+
+def pixel_rmse(pred: np.ndarray, target: np.ndarray) -> np.ndarray | float:
+    """Root-mean-square pixel error over channels and pixels."""
+    pred, target, single = _as_batch(pred, target)
+    mse = np.square(pred - target).mean(axis=(1, 2, 3))
+    return _per_sample(np.sqrt(mse), single)
+
+
+def nrms(pred: np.ndarray, target: np.ndarray) -> np.ndarray | float:
+    """RMS error normalized by the target's dynamic range (the paper's
+    image-level NRMS).
+
+    ``NRMS = RMSE / (max(target) - min(target))`` per sample.  A flat
+    (zero-variance) target has no range to normalize by; the normalizer
+    falls back to 1.0 so the metric degrades to the raw RMS error rather
+    than dividing by zero.
+    """
+    pred, target, single = _as_batch(pred, target)
+    mse = np.square(pred - target).mean(axis=(1, 2, 3))
+    spread = (target.max(axis=(1, 2, 3)) - target.min(axis=(1, 2, 3)))
+    normalizer = np.where(spread > 0, spread, 1.0)
+    return _per_sample(np.sqrt(mse) / normalizer, single)
+
+
+def batched_accuracy(pred: np.ndarray, target: np.ndarray,
+                     tolerance: float = ACCURACY_TOLERANCE
+                     ) -> np.ndarray | float:
+    """The paper's per-pixel accuracy, vectorized over the batch.
+
+    A pixel counts as correct when its worst channel is within
+    ``tolerance``; per sample this equals
+    :func:`repro.gan.metrics.per_pixel_accuracy`.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    pred, target, single = _as_batch(pred, target)
+    worst = np.abs(pred - target).max(axis=1)
+    return _per_sample((worst <= tolerance).mean(axis=(1, 2)), single)
+
+
+# -- SSIM ------------------------------------------------------------------
+
+
+def _axis_box_sums(a: np.ndarray, window: int, axis: int) -> np.ndarray:
+    """Sums over every ``window``-long run along one axis.
+
+    Accumulated as ``window`` shifted-slice adds in a fixed order —
+    elementwise ufunc work, so the result is bitwise identical whether
+    the leading batch axis holds 1 sample or 64 (no BLAS blocking or
+    reduction-tree dependence on batch size).
+    """
+    stop = a.shape[axis] - window + 1
+    index = [slice(None)] * a.ndim
+    index[axis] = slice(0, stop)
+    out = a[tuple(index)].copy()
+    for offset in range(1, window):
+        index[axis] = slice(offset, offset + stop)
+        out += a[tuple(index)]
+    return out
+
+
+def _window_sums(a: np.ndarray, window: int) -> np.ndarray:
+    """Sums over every valid ``window x window`` patch of (N, C, H, W)."""
+    return _axis_box_sums(_axis_box_sums(a, window, -1), window, -2)
+
+
+def ssim(pred: np.ndarray, target: np.ndarray,
+         window: int = DEFAULT_SSIM_WINDOW) -> np.ndarray | float:
+    """Mean structural similarity over uniform local windows.
+
+    The standard SSIM formula with a ``window x window`` box filter
+    (uniform, not gaussian, so the SSIM map is exactly equivariant under
+    dihedral transforms of the image pair) and a data range of 1.0.  The
+    window shrinks to the image when the image is smaller.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    pred, target, single = _as_batch(pred, target)
+    window = min(window, pred.shape[2], pred.shape[3])
+    area = np.float32(window * window)
+    # The window statistics run in float32 over one stack of the five
+    # moment planes: elementwise ufunc work, so batched and per-sample
+    # passes stay bitwise equal, at half the memory traffic of float64
+    # (SSIM is the bandwidth-bound metric of the suite).  The [0, 1]
+    # data range keeps float32 ample for 7x7 window moments.
+    pred32 = pred.astype(np.float32)
+    target32 = target.astype(np.float32)
+    channels = pred.shape[1]
+    planes = np.concatenate(
+        [pred32, target32, pred32 * pred32, target32 * target32,
+         pred32 * target32], axis=1)
+    sums = _window_sums(planes, window) / area
+    mu_p, mu_t, e_pp, e_tt, e_pt = (
+        sums[:, i * channels:(i + 1) * channels] for i in range(5))
+    # Var/cov via E[xy] - E[x]E[y]; clip tiny negative rounding residue.
+    var_p = np.clip(e_pp - mu_p * mu_p, 0.0, None)
+    var_t = np.clip(e_tt - mu_t * mu_t, 0.0, None)
+    cov = e_pt - mu_p * mu_t
+    c1, c2 = np.float32(_SSIM_C1), np.float32(_SSIM_C2)
+    numerator = (2.0 * mu_p * mu_t + c1) * (2.0 * cov + c2)
+    denominator = ((mu_p * mu_p + mu_t * mu_t + c1)
+                   * (var_p + var_t + c2))
+    ssim_map = (numerator / denominator).astype(np.float64)
+    return _per_sample(ssim_map.mean(axis=(1, 2, 3)), single)
+
+
+# -- hotspot detection -----------------------------------------------------
+
+
+def utilization_map(images: np.ndarray) -> np.ndarray:
+    """Per-pixel scalar congestion from a batch of heat-map images.
+
+    Three-channel images are decoded through the paper's yellow-to-purple
+    gradient (:func:`repro.viz.colors.decode_utilization`); other channel
+    counts fall back to the channel mean.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim not in (3, 4):
+        raise ValueError(f"expected (C, H, W) or (N, C, H, W), got "
+                         f"{images.shape}")
+    if images.shape[-3] == 3:
+        return decode_utilization(
+            np.moveaxis(images, -3, -1), COLOR_SCHEME).astype(np.float64)
+    return images.mean(axis=-3)
+
+
+#: Identity-keyed memo of the two most recent utilization decodes.
+#: ``compute_per_sample`` hands every metric the *same* float64 batch,
+#: so the seven hotspot/ROC entries of the default suite share two
+#: decodes per batch instead of paying one each.  Values are recomputed
+#: identically on any miss, so results never depend on cache state.
+_UTIL_MEMO: list[tuple[np.ndarray, np.ndarray]] = []
+
+
+def _memo_utilization(images: np.ndarray) -> np.ndarray:
+    for cached, decoded in _UTIL_MEMO:
+        if cached is images:
+            return decoded
+    decoded = utilization_map(images)
+    _UTIL_MEMO.append((images, decoded))
+    del _UTIL_MEMO[:-2]
+    return decoded
+
+
+def _hotspot_counts(pred: np.ndarray, target: np.ndarray, threshold: float
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, bool]:
+    """(intersection, predicted, true) hotspot pixel counts per sample."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    pred, target, single = _as_batch(pred, target)
+    hot_pred = _memo_utilization(pred) >= threshold
+    hot_true = _memo_utilization(target) >= threshold
+    intersection = (hot_pred & hot_true).sum(axis=(1, 2))
+    return (intersection, hot_pred.sum(axis=(1, 2)),
+            hot_true.sum(axis=(1, 2)), single)
+
+
+def _safe_ratio(numerator: np.ndarray, denominator: np.ndarray,
+                empty_value: np.ndarray | float) -> np.ndarray:
+    """numerator / denominator with ``empty_value`` where denominator == 0."""
+    out = np.where(denominator > 0,
+                   numerator / np.maximum(denominator, 1), empty_value)
+    return out.astype(np.float64)
+
+
+def hotspot_precision(pred: np.ndarray, target: np.ndarray,
+                      threshold: float = 0.5) -> np.ndarray | float:
+    """Fraction of predicted hotspot pixels that are truly hot.
+
+    With no predicted hotspots the precision is 1.0 when the truth has no
+    hotspots either (nothing was missed by staying silent) and 0.0 when
+    it does — never a ZeroDivisionError.
+    """
+    inter, n_pred, n_true, single = _hotspot_counts(pred, target, threshold)
+    empty = np.where(n_true == 0, 1.0, 0.0)
+    return _per_sample(_safe_ratio(inter, n_pred, empty), single)
+
+
+def hotspot_recall(pred: np.ndarray, target: np.ndarray,
+                   threshold: float = 0.5) -> np.ndarray | float:
+    """Fraction of true hotspot pixels the prediction flags.
+
+    With no true hotspots there is nothing to find, so the recall is 1.0.
+    """
+    inter, _, n_true, single = _hotspot_counts(pred, target, threshold)
+    return _per_sample(_safe_ratio(inter, n_true, 1.0), single)
+
+
+def hotspot_iou(pred: np.ndarray, target: np.ndarray,
+                threshold: float = 0.5) -> np.ndarray | float:
+    """Intersection-over-union of predicted and true hotspot pixels.
+
+    Two empty hotspot sets coincide exactly, so their IoU is 1.0.
+    """
+    inter, n_pred, n_true, single = _hotspot_counts(pred, target, threshold)
+    union = n_pred + n_true - inter
+    return _per_sample(_safe_ratio(inter, union, 1.0), single)
+
+
+def roc_curve(pred: np.ndarray, target: np.ndarray,
+              target_threshold: float = DEFAULT_ROC_THRESHOLD,
+              num_thresholds: int = NUM_ROC_THRESHOLDS
+              ) -> tuple[np.ndarray, np.ndarray]:
+    """Hotspot-detection ROC points from a prediction-threshold sweep.
+
+    The target's utilization map is binarized once at
+    ``target_threshold``; the prediction's is swept over
+    ``num_thresholds`` ascending thresholds in [0, 1].  Returns
+    ``(fpr, tpr)`` arrays of shape (N, num_thresholds + 1) — the sweep
+    points plus the (0, 0) endpoint — ordered along the sweep.  Samples
+    whose target is single-class have no defined rates; their rows are
+    the perfect curve (TPR 1 at every swept threshold, so the area is
+    exactly 1 — see :func:`roc_auc`).
+    """
+    if num_thresholds < 2:
+        raise ValueError(f"num_thresholds must be >= 2, got {num_thresholds}")
+    pred, target, _ = _as_batch(pred, target)
+    n = pred.shape[0]
+    u_pred = _memo_utilization(pred).reshape(n, -1)
+    hot = _memo_utilization(target).reshape(n, -1) >= target_threshold
+    pixels = u_pred.shape[1]
+    positives = hot.sum(axis=1)
+    negatives = pixels - positives
+
+    # One histogram sweep instead of an (N, T, P) comparison cube: a
+    # pixel's "level" is how many thresholds sit at or below its value,
+    # so it is flagged at threshold j exactly when level > j, and the
+    # per-threshold counts are reverse cumulative histograms.  All
+    # integer arithmetic — batched and per-sample runs agree bitwise.
+    sweep = np.linspace(0.0, 1.0, num_thresholds)
+    level = np.searchsorted(sweep, u_pred.ravel(), side="right")
+    flat = (np.repeat(np.arange(n), pixels) * (num_thresholds + 1)
+            + level)
+    bins = n * (num_thresholds + 1)
+    pos_hist = np.bincount(flat[hot.ravel()], minlength=bins).reshape(
+        n, num_thresholds + 1)
+    all_hist = np.bincount(flat, minlength=bins).reshape(
+        n, num_thresholds + 1)
+    tp = positives[:, None] - pos_hist.cumsum(axis=1)[:, :num_thresholds]
+    flagged = pixels - all_hist.cumsum(axis=1)[:, :num_thresholds]
+    fp = flagged - tp
+
+    degenerate = (positives == 0) | (negatives == 0)
+    tpr = tp / np.maximum(positives, 1)[:, None]
+    fpr = fp / np.maximum(negatives, 1)[:, None]
+    # Perfect curve for single-class targets: TPR 1 across the sweep
+    # while FPR descends 1 -> 0, closing at (0, 0) with zero width.
+    tpr[degenerate] = 1.0
+    fpr[degenerate] = 1.0 - sweep
+    zeros = np.zeros((pred.shape[0], 1))
+    return (np.concatenate([fpr, zeros], axis=1),
+            np.concatenate([tpr, zeros], axis=1))
+
+
+def roc_auc(pred: np.ndarray, target: np.ndarray,
+            target_threshold: float = DEFAULT_ROC_THRESHOLD,
+            num_thresholds: int = NUM_ROC_THRESHOLDS) -> np.ndarray | float:
+    """Area under the hotspot-detection ROC curve (trapezoidal).
+
+    Single-class targets (no hot pixels, or nothing but hot pixels) admit
+    no ranking error, so they score 1.0 by convention — a defined value
+    instead of the 0/0 a naive rate computation produces.
+    """
+    _, _, single = _as_batch(pred, target)
+    fpr, tpr = roc_curve(pred, target, target_threshold=target_threshold,
+                         num_thresholds=num_thresholds)
+    # fpr descends along the sweep; trapezoids over adjacent points.
+    widths = fpr[:, :-1] - fpr[:, 1:]
+    heights = 0.5 * (tpr[:, :-1] + tpr[:, 1:])
+    return _per_sample((widths * heights).sum(axis=1), single)
+
+
+# -- the registry ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One named, parameter-bound metric over ``(N, C, H, W)`` batches."""
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    description: str
+    higher_is_better: bool = True
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray
+                 ) -> np.ndarray | float:
+        return self.fn(pred, target)
+
+
+def metric_suite(thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
+                 roc_threshold: float = DEFAULT_ROC_THRESHOLD,
+                 ssim_window: int = DEFAULT_SSIM_WINDOW
+                 ) -> dict[str, Metric]:
+    """The ordered suite of registered metrics at the given parameters.
+
+    Threshold-parameterized metrics get one entry per threshold, named
+    ``hotspot_precision@0.5``-style so two reports evaluated at different
+    thresholds never silently compare.
+    """
+    suite: dict[str, Metric] = {}
+
+    def add(name: str, fn, description: str,
+            higher_is_better: bool = True) -> None:
+        suite[name] = Metric(name=name, fn=fn, description=description,
+                             higher_is_better=higher_is_better)
+
+    add("accuracy", batched_accuracy,
+        "paper per-pixel accuracy (worst channel within 16/255)")
+    add("mae", pixel_mae, "mean absolute pixel error",
+        higher_is_better=False)
+    add("rmse", pixel_rmse, "root-mean-square pixel error",
+        higher_is_better=False)
+    add("nrms", nrms, "RMS error normalized by target dynamic range",
+        higher_is_better=False)
+    add("ssim", ssim,
+        f"mean local SSIM (uniform {ssim_window}x{ssim_window} window)",
+        higher_is_better=True)
+    for threshold in thresholds:
+        tag = f"{threshold:g}"
+
+        def bind(fn, threshold=threshold):
+            return lambda pred, target: fn(pred, target,
+                                           threshold=threshold)
+
+        add(f"hotspot_precision@{tag}", bind(hotspot_precision),
+            f"precision of hotspot pixels at utilization >= {tag}")
+        add(f"hotspot_recall@{tag}", bind(hotspot_recall),
+            f"recall of hotspot pixels at utilization >= {tag}")
+        add(f"hotspot_iou@{tag}", bind(hotspot_iou),
+            f"IoU of hotspot pixels at utilization >= {tag}")
+    roc_tag = f"{roc_threshold:g}"
+    add(f"roc_auc@{roc_tag}",
+        lambda pred, target: roc_auc(pred, target,
+                                     target_threshold=roc_threshold),
+        f"threshold-sweep ROC area for hotspots at >= {roc_tag}")
+    return suite
+
+
+#: The default registry (paper accuracy + pixel errors + SSIM + hotspot
+#: metrics at the default thresholds).
+METRICS: dict[str, Metric] = metric_suite()
+
+
+def compute_per_sample(pred: np.ndarray, target: np.ndarray,
+                       metrics: dict[str, Metric] | None = None
+                       ) -> dict[str, np.ndarray]:
+    """Every metric's per-sample values for one ``(N, C, H, W)`` batch."""
+    metrics = metrics if metrics is not None else METRICS
+    pred, target, _ = _as_batch(pred, target)
+    return {name: np.asarray(metric(pred, target), dtype=np.float64)
+            for name, metric in metrics.items()}
+
+
+def aggregate(per_sample: dict[str, np.ndarray]) -> dict[str, float]:
+    """Mean per-sample value per metric (the report's headline numbers)."""
+    return {name: float(np.mean(values))
+            for name, values in per_sample.items()}

@@ -1,0 +1,183 @@
+"""Deterministic evaluation reports and the report-diff (compare) logic.
+
+A report is a plain JSON document carrying everything needed to know
+*what* was evaluated — the dataset's content fingerprint, the split, the
+checkpoint's identity — alongside the metric values, and nothing
+volatile (no timestamps, no wall-clock timings, no host names).  Two runs
+of the same evaluation therefore render byte-identical files, which is
+what lets the golden-metric regression gate ``cmp`` them and lets any two
+reports diff meaningfully.
+
+:func:`compare_reports` is the regression check: a per-metric diff with
+explicit absolute tolerances, plus identity checks (same data, same
+sample count, same metric set).  Its :class:`Comparison` renders the
+readable table the golden test and ``repro eval compare`` print.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import __version__
+
+SCHEMA_VERSION = 1
+REPORT_KIND = "repro-eval-report"
+
+#: Absolute tolerance applied to a metric unless one is given explicitly.
+DEFAULT_TOLERANCE = 1e-9
+
+
+def dataset_fingerprint(store) -> str:
+    """sha256 over a store's per-sample content hashes, in dataset order.
+
+    Pinning the *content* (not file bytes) means a re-sharded or merged
+    copy of the same samples fingerprints identically, while any change
+    to any sample changes the fingerprint.
+    """
+    hasher = hashlib.sha256()
+    for sample_hash in store.sample_hashes:
+        hasher.update(sample_hash.encode())
+    return hasher.hexdigest()
+
+
+def build_report(*, dataset: dict, split: dict, model: dict, params: dict,
+                 metrics: dict[str, float],
+                 per_design: dict[str, dict[str, float]]) -> dict:
+    """Assemble the report document (plain JSON-ready dict)."""
+    return {
+        "kind": REPORT_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": f"repro {__version__}",
+        "dataset": dataset,
+        "split": split,
+        "model": model,
+        "params": params,
+        "metrics": metrics,
+        "per_design": per_design,
+    }
+
+
+def render_report(report: dict) -> str:
+    """The canonical byte representation: sorted keys, 2-space indent."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def write_report(path: str | Path, report: dict) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_report(report))
+
+
+def load_report(path: str | Path) -> dict:
+    report = json.loads(Path(path).read_text())
+    if report.get("kind") != REPORT_KIND:
+        raise ValueError(f"{path} is not an eval report "
+                         f"(kind={report.get('kind')!r})")
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported report schema {version!r} "
+                         f"(expected {SCHEMA_VERSION})")
+    return report
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One metric's comparison line."""
+
+    name: str
+    value_a: float | None
+    value_b: float | None
+    tolerance: float
+    ok: bool
+
+    @property
+    def delta(self) -> float | None:
+        if self.value_a is None or self.value_b is None:
+            return None
+        return self.value_b - self.value_a
+
+    def format(self) -> str:
+        status = "ok   " if self.ok else "DRIFT"
+        if self.delta is None:
+            missing = "A" if self.value_a is None else "B"
+            return f"  {status} {self.name:<24} missing from report {missing}"
+        return (f"  {status} {self.name:<24} "
+                f"{self.value_a:+.6f} -> {self.value_b:+.6f}  "
+                f"(delta {self.delta:+.2e}, tol {self.tolerance:.1e})")
+
+
+@dataclass
+class Comparison:
+    """The outcome of diffing two reports."""
+
+    diffs: list[MetricDiff] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and all(diff.ok for diff in self.diffs)
+
+    @property
+    def drifted(self) -> list[MetricDiff]:
+        return [diff for diff in self.diffs if not diff.ok]
+
+    def format(self) -> str:
+        lines = [diff.format() for diff in self.diffs]
+        lines.extend(f"  FAIL  {problem}" for problem in self.problems)
+        verdict = ("ok: all metrics within tolerance" if self.ok else
+                   f"drift: {len(self.drifted)} metric(s) out of tolerance, "
+                   f"{len(self.problems)} structural problem(s)")
+        return "\n".join(lines + [verdict])
+
+
+def compare_reports(report_a: dict, report_b: dict,
+                    tolerances: dict[str, float] | None = None,
+                    default_tolerance: float = DEFAULT_TOLERANCE,
+                    require_same_data: bool = True) -> Comparison:
+    """Per-metric diff of two reports with explicit tolerances.
+
+    A metric drifts when ``|b - a|`` exceeds its tolerance (from
+    ``tolerances``, else ``default_tolerance``).  Structural mismatches —
+    a metric present in only one report, different sample counts, or
+    (unless ``require_same_data`` is off, for cross-dataset comparisons)
+    different dataset fingerprints — are failures too: they mean the two
+    reports do not measure the same thing.
+    """
+    tolerances = dict(tolerances or {})
+    comparison = Comparison()
+
+    if require_same_data:
+        fp_a = report_a.get("dataset", {}).get("fingerprint")
+        fp_b = report_b.get("dataset", {}).get("fingerprint")
+        if fp_a != fp_b:
+            comparison.problems.append(
+                f"dataset fingerprints differ ({str(fp_a)[:12]}... vs "
+                f"{str(fp_b)[:12]}...): not the same data")
+    count_a = report_a.get("split", {}).get("num_samples")
+    count_b = report_b.get("split", {}).get("num_samples")
+    if count_a != count_b:
+        comparison.problems.append(
+            f"evaluated sample counts differ ({count_a} vs {count_b})")
+
+    metrics_a = report_a.get("metrics", {})
+    metrics_b = report_b.get("metrics", {})
+    for name in sorted(set(metrics_a) | set(metrics_b)):
+        value_a = metrics_a.get(name)
+        value_b = metrics_b.get(name)
+        tolerance = tolerances.pop(name, default_tolerance)
+        if value_a is None or value_b is None:
+            comparison.diffs.append(MetricDiff(
+                name=name, value_a=value_a, value_b=value_b,
+                tolerance=tolerance, ok=False))
+            continue
+        ok = abs(float(value_b) - float(value_a)) <= tolerance
+        comparison.diffs.append(MetricDiff(
+            name=name, value_a=float(value_a), value_b=float(value_b),
+            tolerance=tolerance, ok=ok))
+    for leftover in sorted(tolerances):
+        comparison.problems.append(
+            f"tolerance given for unknown metric {leftover!r}")
+    return comparison

@@ -11,15 +11,28 @@ routed utilization without running a router.
 (the same yellow-to-purple painting over img_place) so it is directly
 comparable with the cGAN through the same per-pixel-accuracy / Top-k
 metrics.
+
+Two further baselines speak the *sample* space (a stored ``Sample.x``
+input stack, no netlist required), which is what ``repro eval baselines``
+scores against checkpoints over a sharded store:
+
+* :class:`PlacementCopyBaseline` — predict the routing heat map as the
+  placement image itself (the paper's img_route is painted over
+  img_place, so "nothing changes" is the natural floor).
+* :class:`MeanTargetBaseline` — predict the mean ground-truth heat map
+  of a training split; the strongest design-agnostic constant predictor
+  and the reference point cross-design generalization must beat.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
 from repro.fpga.arch import FpgaArchitecture
+from repro.gan.dataset import Sample, from_unit_range
 from repro.fpga.netlist import Netlist
 from repro.fpga.placement import Placement, crossing_count, net_bounding_box
 from repro.viz.colors import COLOR_SCHEME, ColorScheme, utilization_to_rgb
@@ -136,3 +149,75 @@ class RudyForecaster:
         h_est, v_est = rudy_channel_utilization(self.netlist, placement)
         stacked = np.concatenate([h_est.ravel(), v_est.ravel()])
         return float(np.clip(stacked * self.calibration, 0, None).mean())
+
+
+def _validate_input_batch(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim != 4 or x.shape[1] < 3:
+        raise ValueError(
+            f"expected (N, C>=3, H, W) input stacks, got {x.shape}")
+    return x
+
+
+class PlacementCopyBaseline:
+    """Predict the heat map as the placement image embedded in the input.
+
+    The input stack's first three channels are img_place in [-1, 1]; the
+    forecast is that image unchanged — routing channels stay unpainted
+    (white), so this is the "routing adds nothing" floor every learned
+    model must beat.
+    """
+
+    name = "placement-copy"
+
+    def forecast_images(self, x: np.ndarray) -> np.ndarray:
+        """(N, H, W, 3) images in [0, 1] from (N, C, H, W) inputs."""
+        x = _validate_input_batch(x)
+        return from_unit_range(x[:, :3].transpose(0, 2, 3, 1))
+
+
+class MeanTargetBaseline:
+    """Predict the mean ground-truth heat map of a training split.
+
+    Fit streams samples once (constant memory) and averages their target
+    images; forecasting tiles that mean over the batch.  Fitting on the
+    training designs of a leave-one-design-out split makes this the
+    design-agnostic predictor a cross-generalizing model must beat.
+    """
+
+    name = "mean-target"
+
+    def __init__(self, mean_image: np.ndarray):
+        mean_image = np.asarray(mean_image, dtype=np.float32)
+        if mean_image.ndim != 3 or mean_image.shape[-1] != 3:
+            raise ValueError(
+                f"mean image must be (H, W, 3), got {mean_image.shape}")
+        self.mean_image = mean_image
+
+    @classmethod
+    def fit(cls, samples: Iterable[Sample],
+            designs: list[str] | None = None) -> "MeanTargetBaseline":
+        """Average the target images of ``samples`` (restricted to
+        ``designs`` when given)."""
+        wanted = set(designs) if designs is not None else None
+        total = None
+        count = 0
+        for sample in samples:
+            if wanted is not None and sample.design not in wanted:
+                continue
+            image = sample.y_image.astype(np.float64)
+            total = image if total is None else total + image
+            count += 1
+        if count == 0:
+            raise ValueError("no samples to fit the mean-target baseline")
+        return cls((total / count).astype(np.float32))
+
+    def forecast_images(self, x: np.ndarray) -> np.ndarray:
+        """(N, H, W, 3) copies of the mean image, one per input."""
+        x = _validate_input_batch(x)
+        if self.mean_image.shape[:2] != x.shape[2:]:
+            raise ValueError(
+                f"mean image is {self.mean_image.shape[:2]}, inputs are "
+                f"{x.shape[2:]}")
+        return np.broadcast_to(
+            self.mean_image, (x.shape[0],) + self.mean_image.shape).copy()

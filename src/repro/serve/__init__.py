@@ -31,7 +31,7 @@ from repro.serve.cache import ForecastCache, input_digest
 from repro.serve.client import ClientError, ForecastClient, ForecastResponse
 from repro.serve.engine import BatchingEngine, ForecastResult
 from repro.serve.http import ForecastServer
-from repro.serve.registry import ModelInfo, ModelRegistry
+from repro.serve.registry import ModelInfo, ModelRegistry, load_checkpoint
 
 __all__ = [
     "BatchingEngine",
@@ -44,4 +44,5 @@ __all__ = [
     "ModelInfo",
     "ModelRegistry",
     "input_digest",
+    "load_checkpoint",
 ]

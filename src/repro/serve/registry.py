@@ -47,6 +47,43 @@ def _file_checksum(path: Path) -> str:
     return hasher.hexdigest()
 
 
+def _model_info(model_id: str, model: Pix2Pix,
+                path: Path | None = None) -> ModelInfo:
+    """The registry metadata for one model (and its file, if on disk)."""
+    cfg = model.config
+    checksum = size_bytes = None
+    if path is not None:
+        checksum = _file_checksum(path)
+        size_bytes = path.stat().st_size
+    return ModelInfo(
+        model_id=model_id,
+        image_size=cfg.image_size,
+        input_channels=cfg.input_channels,
+        output_channels=cfg.output_channels,
+        base_filters=cfg.base_filters,
+        skip_mode=cfg.skip_mode,
+        num_parameters=model.generator.num_parameters(),
+        path=str(path) if path is not None else None,
+        checksum=checksum,
+        size_bytes=size_bytes,
+    )
+
+
+def load_checkpoint(path: str | Path, model_id: str | None = None
+                    ) -> tuple[Pix2Pix, ModelInfo]:
+    """Load one ``.npz`` checkpoint into a warm model plus its metadata.
+
+    The single source of truth for checkpoint identity (id, file
+    checksum, shape metadata) shared by the serving registry and the
+    evaluation runner, so a report's ``model.checksum`` matches what
+    ``GET /v1/models`` advertises for the same file.
+    """
+    path = Path(path)
+    model_id = model_id if model_id is not None else path.stem
+    model = Pix2Pix.load(path)   # raises ValueError on a bad checkpoint
+    return model, _model_info(model_id, model, path)
+
+
 class ModelRegistry:
     """Keyed collection of warm :class:`Pix2Pix` models plus their metadata."""
 
@@ -86,32 +123,18 @@ class ModelRegistry:
     def register_file(self, path: str | Path,
                       model_id: str | None = None) -> ModelInfo:
         """Load one checkpoint file; the id defaults to the file stem."""
-        path = Path(path)
-        model_id = model_id if model_id is not None else path.stem
-        model = Pix2Pix.load(path)   # raises ValueError on a bad checkpoint
-        return self.register(model_id, model, path=path)
+        model, info = load_checkpoint(path, model_id)
+        return self._insert(model, info)
 
     def register(self, model_id: str, model: Pix2Pix,
                  path: str | Path | None = None) -> ModelInfo:
         """Register an already-constructed model (e.g. fresh from training)."""
-        cfg = model.config
-        checksum = size_bytes = None
-        if path is not None:
-            path = Path(path)
-            checksum = _file_checksum(path)
-            size_bytes = path.stat().st_size
-        info = ModelInfo(
-            model_id=model_id,
-            image_size=cfg.image_size,
-            input_channels=cfg.input_channels,
-            output_channels=cfg.output_channels,
-            base_filters=cfg.base_filters,
-            skip_mode=cfg.skip_mode,
-            num_parameters=model.generator.num_parameters(),
-            path=str(path) if path is not None else None,
-            checksum=checksum,
-            size_bytes=size_bytes,
-        )
+        info = _model_info(model_id, model,
+                           Path(path) if path is not None else None)
+        return self._insert(model, info)
+
+    def _insert(self, model: Pix2Pix, info: ModelInfo) -> ModelInfo:
+        model_id = info.model_id
         with self._lock:
             if model_id in self._models:
                 raise ValueError(f"model id {model_id!r} already registered")

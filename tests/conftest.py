@@ -1,9 +1,40 @@
-"""Shared fixtures: a tiny trained model for serving/inference tests."""
+"""Shared fixtures and factories: tiny samples, datasets, models, checkpoints.
+
+The plain functions (:func:`make_sample`, :func:`make_dataset`,
+:func:`make_tiny_model`) are importable as ``from tests.conftest import
+...`` for module-scoped fixtures; the ``make_dataset`` /
+``make_checkpoint`` factory fixtures inject the same builders where a
+test only needs them at run time.  Every tiny-dataset builder the suite
+uses lives here — one definition, one shape convention.
+"""
 
 import numpy as np
 import pytest
 
-from repro.gan import Pix2Pix, Pix2PixConfig
+from repro.gan import Dataset, Pix2Pix, Pix2PixConfig, Sample
+
+
+def make_sample(design: str = "d", size: int = 8, seed: int = 0,
+                congestion: float = 0.5) -> Sample:
+    """One random (but seed-deterministic) image-pair sample."""
+    rng = np.random.default_rng(seed)
+    return Sample(
+        design=design,
+        x=rng.normal(size=(4, size, size)).astype(np.float32),
+        y=np.tanh(rng.normal(size=(3, size, size))).astype(np.float32),
+        true_congestion=congestion,
+        placer_options={"seed": seed, "alpha_t": None, "inner_num": 1.0,
+                        "place_algorithm": "bounding_box"},
+        route_seconds=0.5,
+        place_seconds=1.0,
+    )
+
+
+def make_dataset(count: int = 5, size: int = 8, design: str = "d",
+                 seed0: int = 0) -> Dataset:
+    """``count`` samples of one design, seeded ``seed0 .. seed0+count-1``."""
+    return Dataset([make_sample(design, size=size, seed=seed0 + i)
+                    for i in range(count)])
 
 
 def make_tiny_model(seed: int = 1, image_size: int = 16,
@@ -37,6 +68,35 @@ def make_model():
     ambiguous when pytest collects both tests/ and benchmarks/.)
     """
     return make_tiny_model
+
+
+@pytest.fixture(scope="session", name="make_dataset")
+def make_dataset_fixture():
+    """The tiny-dataset factory as an injectable fixture."""
+    return make_dataset
+
+
+@pytest.fixture(scope="session", name="make_checkpoint")
+def make_checkpoint_fixture(tmp_path_factory):
+    """Factory writing tiny trained checkpoints to disk.
+
+    ``factory(name, directory=..., model=..., seed=..., ...)`` returns the
+    checkpoint path; omit ``directory`` for a fresh temp dir, pass one to
+    collect several checkpoints in a single registry directory.
+    """
+    def factory(name: str = "model", *, directory=None, model=None,
+                seed: int = 1, image_size: int = 16,
+                train_steps: int = 2):
+        if model is None:
+            model = make_tiny_model(seed=seed, image_size=image_size,
+                                    train_steps=train_steps)
+        if directory is None:
+            directory = tmp_path_factory.mktemp("checkpoints")
+        path = directory / f"{name}.npz"
+        model.save(path)
+        return path
+
+    return factory
 
 
 @pytest.fixture()

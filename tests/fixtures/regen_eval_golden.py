@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Regenerate the golden evaluation fixtures under tests/fixtures/eval/.
+
+Writes three committed artifacts:
+
+* ``store/``  — a fixed-seed 8-sample, 2-design sharded dataset;
+* ``model.npz`` — a tiny fixed-seed checkpoint (3 training steps);
+* ``golden_report.json`` — the pinned eval report for that pair.
+
+Run from the repo root after an *intentional* metric or model change::
+
+    PYTHONPATH=src python tests/fixtures/regen_eval_golden.py
+
+and commit the diff.  The golden regression test
+(``tests/test_eval_golden.py``) fails with a per-metric diff whenever a
+code change moves any pinned metric by more than its tolerance.
+"""
+
+import shutil
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+from repro.data import ShardedStore                       # noqa: E402
+from repro.eval import (                                  # noqa: E402
+    CheckpointForecaster,
+    evaluate_store,
+    evaluation_report,
+    write_report,
+)
+from repro.gan import Dataset                             # noqa: E402
+from tests.conftest import make_sample, make_tiny_model   # noqa: E402
+
+FIXTURE_DIR = Path(__file__).parent / "eval"
+
+#: Fixture shape constants — change these and the goldens move.
+IMAGE_SIZE = 16
+SHARD_SIZE = 3
+MODEL_SEED = 7
+TRAIN_STEPS = 3
+BATCH_SIZE = 4
+
+
+def build_dataset() -> Dataset:
+    return Dataset(
+        [make_sample("alpha", size=IMAGE_SIZE, seed=i) for i in range(5)]
+        + [make_sample("beta", size=IMAGE_SIZE, seed=100 + i)
+           for i in range(3)])
+
+
+def main() -> None:
+    store_dir = FIXTURE_DIR / "store"
+    if store_dir.exists():
+        shutil.rmtree(store_dir)
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+
+    store = ShardedStore.from_dataset(store_dir, build_dataset(),
+                                      shard_size=SHARD_SIZE)
+    print(f"store: {store.num_samples} samples in {store.num_shards} "
+          f"shard(s)")
+
+    model = make_tiny_model(seed=MODEL_SEED, image_size=IMAGE_SIZE,
+                            train_steps=TRAIN_STEPS)
+    model.save(FIXTURE_DIR / "model.npz")
+
+    forecaster = CheckpointForecaster.from_checkpoint(
+        FIXTURE_DIR / "model.npz")
+    result = evaluate_store(store, forecaster, batch_size=BATCH_SIZE)
+    report = evaluation_report(store, result, forecaster.identity,
+                               batch_size=BATCH_SIZE)
+    # Pin a repo-relative checkpoint path so regeneration on any machine
+    # produces the same bytes.
+    report["model"]["path"] = "tests/fixtures/eval/model.npz"
+    write_report(FIXTURE_DIR / "golden_report.json", report)
+    print("golden metrics:")
+    for name in sorted(report["metrics"]):
+        print(f"  {name:<24} {report['metrics'][name]:.6f}")
+
+
+if __name__ == "__main__":
+    main()

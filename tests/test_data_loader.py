@@ -3,9 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.data import MemoryLoader, ShardedStore, StreamingLoader
+from repro.data import (
+    MemoryLoader,
+    ShardedStore,
+    StreamingLoader,
+    iter_eval_batches,
+    shard_eval_arrays,
+)
 from repro.gan import Dataset, Pix2Pix, Pix2PixConfig, Pix2PixTrainer
-from tests.test_gan_dataset_metrics import make_sample
+from tests.conftest import make_dataset, make_sample
 
 SIZE = 16
 COUNT = 6
@@ -14,8 +20,7 @@ SHARD = 2
 
 @pytest.fixture(scope="module")
 def dataset():
-    return Dataset([make_sample("d", size=SIZE, seed=i)
-                    for i in range(COUNT)])
+    return make_dataset(COUNT, size=SIZE)
 
 
 @pytest.fixture(scope="module")
@@ -68,6 +73,42 @@ class TestEpochStreams:
         assert loader.peak_resident_samples == SHARD
         assert loader.peak_resident_samples < len(loader)
         assert loader.shard_loads == store.num_shards
+
+
+class TestEvalIteration:
+    def test_store_order_no_shuffle_no_augment(self, store, dataset):
+        xs = [x for x, _, _ in iter_eval_batches(store, batch_size=1)]
+        assert len(xs) == COUNT
+        for sample, (x,) in zip(dataset, xs):
+            np.testing.assert_array_equal(sample.x, x)
+
+    def test_batches_never_cross_shards(self, store):
+        sizes = [x.shape[0]
+                 for x, _, _ in iter_eval_batches(store, batch_size=4)]
+        # Shards hold SHARD samples each, so a larger batch size still
+        # yields per-shard batches (parallel shard workers see the same
+        # batch boundaries as a serial pass).
+        assert sizes == [SHARD] * store.num_shards
+
+    def test_design_filter(self, tmp_path):
+        mixed = Dataset([make_sample("a", size=SIZE, seed=1),
+                         make_sample("b", size=SIZE, seed=2),
+                         make_sample("a", size=SIZE, seed=3)])
+        store = ShardedStore.from_dataset(tmp_path / "mixed", mixed,
+                                          shard_size=2)
+        batches = list(iter_eval_batches(store, designs=["a"]))
+        designs = [d for _, _, batch in batches for d in batch]
+        assert designs == ["a", "a"]
+
+    def test_shard_eval_arrays_yields_designs(self, store):
+        x, y, designs = next(shard_eval_arrays(store, 0, batch_size=2))
+        assert x.shape == (2, 4, SIZE, SIZE)
+        assert y.shape == (2, 3, SIZE, SIZE)
+        assert designs == ["d", "d"]
+
+    def test_invalid_batch_size_rejected(self, store):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(shard_eval_arrays(store, 0, batch_size=0))
 
 
 class TestLossParity:

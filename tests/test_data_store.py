@@ -12,12 +12,7 @@ from repro.data import (
 )
 from repro.data.store import MANIFEST_NAME
 from repro.gan import Dataset
-from tests.test_gan_dataset_metrics import make_sample
-
-
-def make_dataset(count=5, size=8, design="d") -> Dataset:
-    return Dataset([make_sample(design, size=size, seed=i)
-                    for i in range(count)])
+from tests.conftest import make_dataset, make_sample
 
 
 class TestContentHash:

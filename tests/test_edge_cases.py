@@ -125,7 +125,7 @@ class TestModelEdges:
         model = Pix2Pix(Pix2PixConfig(image_size=16, base_filters=4,
                                       disc_filters=4))
         trainer = Pix2PixTrainer(model)
-        from tests.test_gan_dataset_metrics import make_sample
+        from tests.conftest import make_sample
 
         wrong = Dataset([make_sample(size=32)])
         with pytest.raises(ValueError):

@@ -1,0 +1,91 @@
+"""Golden-metric regression gate.
+
+``tests/fixtures/eval/`` commits a fixed-seed dataset store, a tiny
+checkpoint, and the pinned eval report the pair must keep producing.
+Any change that moves a metric by more than its tolerance — a model
+regression, a metric-implementation change, a data-pipeline drift —
+fails here with a per-metric diff.  Intentional changes regenerate the
+fixtures with ``python tests/fixtures/regen_eval_golden.py`` and commit
+the result.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.data import ShardedStore
+from repro.eval import (
+    CheckpointForecaster,
+    compare_reports,
+    evaluate_store,
+    evaluation_report,
+    load_report,
+    render_report,
+)
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures" / "eval"
+
+#: Absolute tolerance per pinned metric.  Loose enough for cross-platform
+#: float drift (BLAS kernels differ), tight enough that any real change
+#: to the model, the data, or a metric implementation trips the gate.
+GOLDEN_TOLERANCES = {name: 1e-4 for name in (
+    "accuracy", "mae", "rmse", "nrms", "ssim",
+    "hotspot_precision@0.5", "hotspot_recall@0.5", "hotspot_iou@0.5",
+    "hotspot_precision@0.7", "hotspot_recall@0.7", "hotspot_iou@0.7",
+    "roc_auc@0.5",
+)}
+
+
+@pytest.fixture(scope="module")
+def golden_store():
+    store = ShardedStore.open(FIXTURE_DIR / "store")
+    assert store.verify() == [], "golden store fixture is corrupted"
+    return store
+
+
+@pytest.fixture(scope="module")
+def golden_report_fresh(golden_store):
+    forecaster = CheckpointForecaster.from_checkpoint(
+        FIXTURE_DIR / "model.npz")
+    result = evaluate_store(golden_store, forecaster, batch_size=4)
+    return evaluation_report(golden_store, result, forecaster.identity,
+                             batch_size=4)
+
+
+class TestGoldenMetrics:
+    def test_metrics_match_committed_golden(self, golden_report_fresh):
+        """The regression gate: fail with a readable per-metric diff."""
+        golden = load_report(FIXTURE_DIR / "golden_report.json")
+        comparison = compare_reports(golden, golden_report_fresh,
+                                     tolerances=dict(GOLDEN_TOLERANCES),
+                                     default_tolerance=1e-4)
+        assert comparison.ok, (
+            "eval metrics drifted from the committed golden report "
+            "(regenerate with tests/fixtures/regen_eval_golden.py if "
+            "intentional):\n" + comparison.format())
+
+    def test_every_pinned_metric_is_still_reported(self,
+                                                   golden_report_fresh):
+        assert set(GOLDEN_TOLERANCES) == set(
+            golden_report_fresh["metrics"])
+
+    def test_dataset_fingerprint_is_pinned(self, golden_report_fresh):
+        golden = load_report(FIXTURE_DIR / "golden_report.json")
+        assert (golden_report_fresh["dataset"]["fingerprint"]
+                == golden["dataset"]["fingerprint"]), (
+            "the committed fixture store no longer hashes to the golden "
+            "fingerprint — the dataset content itself changed")
+
+    def test_checkpoint_checksum_is_pinned(self, golden_report_fresh):
+        golden = load_report(FIXTURE_DIR / "golden_report.json")
+        assert (golden_report_fresh["model"]["checksum"]
+                == golden["model"]["checksum"])
+
+    def test_report_bytes_stable_within_run(self, golden_store,
+                                            golden_report_fresh):
+        forecaster = CheckpointForecaster.from_checkpoint(
+            FIXTURE_DIR / "model.npz")
+        result = evaluate_store(golden_store, forecaster, batch_size=4)
+        again = evaluation_report(golden_store, result,
+                                  forecaster.identity, batch_size=4)
+        assert render_report(again) == render_report(golden_report_fresh)

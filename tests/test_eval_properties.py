@@ -1,0 +1,119 @@
+"""Property tests for the metric registry (hypothesis).
+
+Three families pin the algebra of the metrics down:
+
+* **dihedral invariance** — rotating/flipping prediction and target
+  *jointly* (the training augmentation) must not change any image-level
+  score;
+* **threshold monotonicity** — against a binary target, raising the
+  congestion threshold only shrinks the predicted hotspot set, so recall
+  (and the ROC sweep's rates) never increase;
+* **batched-vs-loop equality** — every registered metric evaluated over
+  a batch equals the same metric evaluated sample by sample, exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import NUM_DIHEDRAL, augment_pair
+from repro.eval.metrics import (
+    METRICS,
+    hotspot_precision,
+    hotspot_recall,
+    metric_suite,
+    roc_curve,
+)
+from repro.viz.colors import utilization_to_rgb
+
+SEEDS = st.integers(0, 500)
+INDICES = st.integers(0, NUM_DIHEDRAL - 1)
+
+#: Metrics computed from integer pixel counts (exact under dihedral
+#: transforms); float reductions reorder their sums and get an epsilon.
+_EXACT_UNDER_DIHEDRAL = {"accuracy", "hotspot_precision@0.5",
+                         "hotspot_recall@0.5", "hotspot_iou@0.5",
+                         "hotspot_precision@0.7", "hotspot_recall@0.7",
+                         "hotspot_iou@0.7"}
+
+#: SSIM accumulates its window moments in float32, so reordered sums
+#: drift at float32 resolution rather than float64.
+_DIHEDRAL_TOLERANCE = {"ssim": 1e-5}
+
+
+def rand_pair(seed: int, n: int = 2, size: int = 8):
+    rng = np.random.default_rng(seed)
+    return rng.random((n, 3, size, size)), rng.random((n, 3, size, size))
+
+
+def binary_heatmap(seed: int, size: int = 8) -> np.ndarray:
+    """(3, H, W) image whose decoded utilization is exactly 0 or 1."""
+    rng = np.random.default_rng(seed)
+    u = (rng.random((size, size)) < 0.4).astype(np.float64)
+    return np.moveaxis(utilization_to_rgb(u), -1, 0).astype(np.float64)
+
+
+class TestDihedralInvariance:
+    @settings(max_examples=24, deadline=None)
+    @given(seed=SEEDS, index=INDICES)
+    def test_all_metrics_invariant_under_joint_transform(self, seed, index):
+        pred, target = rand_pair(seed, n=1)
+        moved_pred, moved_target = augment_pair(pred[0], target[0], index)
+        for name, metric in METRICS.items():
+            before = metric(pred[0], target[0])
+            after = metric(np.ascontiguousarray(moved_pred),
+                           np.ascontiguousarray(moved_target))
+            if name in _EXACT_UNDER_DIHEDRAL:
+                assert before == after, name
+            else:
+                tolerance = _DIHEDRAL_TOLERANCE.get(name, 1e-9)
+                assert after == pytest.approx(before, abs=tolerance), name
+
+
+class TestThresholdMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=SEEDS)
+    def test_recall_never_increases_with_threshold(self, seed):
+        """Against a binary target, a higher congestion threshold can only
+        shrink the predicted hotspot set — recall is non-increasing."""
+        rng = np.random.default_rng(seed)
+        pred = np.moveaxis(
+            utilization_to_rgb(rng.random((8, 8))), -1, 0)
+        target = binary_heatmap(seed + 1)
+        thresholds = np.linspace(0.05, 0.95, 10)
+        recalls = [hotspot_recall(pred, target, float(t))
+                   for t in thresholds]
+        assert all(a >= b - 1e-12 for a, b in zip(recalls, recalls[1:]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=SEEDS)
+    def test_roc_sweep_rates_never_increase(self, seed):
+        pred, target = rand_pair(seed, n=2)
+        fpr, tpr = roc_curve(pred, target)
+        assert np.all(np.diff(fpr, axis=1) <= 1e-12)
+        assert np.all(np.diff(tpr, axis=1) <= 1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=SEEDS, threshold=st.floats(0.05, 0.95))
+    def test_precision_and_recall_bounded(self, seed, threshold):
+        pred, target = rand_pair(seed, n=1)
+        precision = hotspot_precision(pred[0], target[0], threshold)
+        recall = hotspot_recall(pred[0], target[0], threshold)
+        assert 0.0 <= precision <= 1.0
+        assert 0.0 <= recall <= 1.0
+
+
+class TestBatchedVsLoop:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=SEEDS, n=st.integers(1, 6))
+    def test_every_registered_metric_matches_per_sample_loop(self, seed, n):
+        """The registry's acceptance property: one vectorized pass over a
+        batch is bitwise the per-sample loop."""
+        pred, target = rand_pair(seed, n=n)
+        for name, metric in metric_suite().items():
+            batched = np.asarray(metric(pred, target))
+            looped = np.array([metric(pred[i], target[i])
+                               for i in range(n)])
+            np.testing.assert_array_equal(batched, looped,
+                                          err_msg=name)

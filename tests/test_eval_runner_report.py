@@ -1,0 +1,296 @@
+"""Eval runner, report, and CLI tests: determinism, splits, compare."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import ShardedStore
+from repro.eval import (
+    CheckpointForecaster,
+    SplitSpec,
+    compare_reports,
+    evaluate_store,
+    evaluation_report,
+    load_report,
+    make_baseline,
+    parse_split,
+    render_report,
+)
+from repro.gan import Dataset
+from repro.gan.baselines import MeanTargetBaseline, PlacementCopyBaseline
+from repro.gan.dataset import from_unit_range
+from tests.conftest import make_dataset, make_sample, make_tiny_model
+
+SIZE = 16
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    dataset = Dataset(make_dataset(5, size=SIZE, design="a").samples
+                      + make_dataset(3, size=SIZE, design="b",
+                                     seed0=100).samples)
+    root = tmp_path_factory.mktemp("eval") / "store"
+    return ShardedStore.from_dataset(root, dataset, shard_size=3)
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    path = tmp_path_factory.mktemp("eval-ckpt") / "tiny.npz"
+    make_tiny_model(seed=3).save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def forecaster(checkpoint):
+    return CheckpointForecaster.from_checkpoint(checkpoint)
+
+
+class TestSplits:
+    def test_parse_split_forms(self):
+        assert parse_split("all") == SplitSpec()
+        assert parse_split("design:ode") == SplitSpec("design", "ode")
+        assert parse_split("holdout:ode") == SplitSpec("holdout", "ode")
+
+    def test_parse_split_rejects_garbage(self):
+        for bad in ("", "design:", "unknown:x", "holdout"):
+            with pytest.raises(ValueError):
+                parse_split(bad)
+
+    def test_design_split_selects_one_design(self, store, forecaster):
+        result = evaluate_store(store, forecaster,
+                                split=parse_split("design:b"))
+        assert result.num_samples == 3
+        assert set(result.designs) == {"b"}
+
+    def test_holdout_split_records_training_side(self, store, forecaster):
+        split = parse_split("holdout:b")
+        result = evaluate_store(store, forecaster, split=split)
+        assert set(result.designs) == {"b"}
+        report = evaluation_report(store, result, forecaster.identity,
+                                   split)
+        assert report["split"]["policy"] == "holdout"
+        assert report["split"]["train_designs"] == ["a"]
+        assert report["split"]["num_samples"] == 3
+
+    def test_unknown_design_raises(self, store, forecaster):
+        with pytest.raises(ValueError, match="not in store"):
+            evaluate_store(store, forecaster,
+                           split=parse_split("design:zzz"))
+
+    def test_holdout_needs_two_designs(self, tmp_path, forecaster):
+        single = ShardedStore.from_dataset(
+            tmp_path / "single", make_dataset(2, size=SIZE), shard_size=2)
+        with pytest.raises(ValueError, match="two designs"):
+            evaluate_store(single, forecaster,
+                           split=parse_split("holdout:d"))
+
+
+class TestDeterminism:
+    def test_repeated_runs_render_identical_reports(self, store,
+                                                    forecaster):
+        reports = []
+        for _ in range(2):
+            result = evaluate_store(store, forecaster, batch_size=4)
+            reports.append(render_report(evaluation_report(
+                store, result, forecaster.identity, batch_size=4)))
+        assert reports[0] == reports[1]
+
+    def test_worker_count_does_not_change_bytes(self, store, forecaster):
+        """Acceptance: --workers 1 and --workers 4 are byte-identical."""
+        serial = evaluate_store(store, forecaster, batch_size=4, workers=1)
+        parallel = evaluate_store(store, forecaster, batch_size=4,
+                                  workers=4)
+        assert render_report(evaluation_report(
+            store, serial, forecaster.identity, batch_size=4)) == \
+            render_report(evaluation_report(
+                store, parallel, forecaster.identity, batch_size=4))
+
+    def test_workers_require_checkpoint(self, store):
+        baseline, _ = make_baseline("placement-copy", store, SplitSpec())
+        with pytest.raises(ValueError, match="on-disk checkpoint"):
+            evaluate_store(store, baseline, workers=2)
+
+    def test_per_design_breakdown_partitions_samples(self, store,
+                                                     forecaster):
+        result = evaluate_store(store, forecaster)
+        breakdown = result.per_design()
+        assert set(breakdown) == {"a", "b"}
+        designs = np.asarray(result.designs)
+        for name, values in result.per_sample.items():
+            weighted = sum(
+                breakdown[d][name] * (designs == d).sum()
+                for d in breakdown)
+            assert weighted / len(designs) == pytest.approx(
+                float(values.mean()))
+
+
+class TestBaselines:
+    def test_placement_copy_is_perfect_when_target_is_placement(
+            self, tmp_path):
+        samples = []
+        for seed in range(3):
+            sample = make_sample("d", size=SIZE, seed=seed)
+            sample.y = sample.x[:3].copy()
+            samples.append(sample)
+        store = ShardedStore.from_dataset(tmp_path / "copy",
+                                          Dataset(samples), shard_size=2)
+        baseline, _ = make_baseline("placement-copy", store, SplitSpec())
+        result = evaluate_store(store, baseline)
+        assert result.metrics()["rmse"] == pytest.approx(0.0, abs=1e-7)
+        assert result.metrics()["accuracy"] == pytest.approx(1.0)
+
+    def test_mean_target_fits_training_designs_only(self, store):
+        split = parse_split("holdout:b")
+        baseline, identity = make_baseline("mean-target", store, split)
+        assert identity["fit_designs"] == ["a"]
+        expected = np.mean(
+            [s.y_image for s in store.iter_samples() if s.design == "a"],
+            axis=0)
+        np.testing.assert_allclose(baseline.mean_image, expected,
+                                   atol=1e-6)
+
+    def test_mean_target_forecast_tiles_batch(self, store):
+        baseline, _ = make_baseline("mean-target", store, SplitSpec())
+        x = np.zeros((4, 4, SIZE, SIZE), dtype=np.float32)
+        images = baseline.forecast_images(x)
+        assert images.shape == (4, SIZE, SIZE, 3)
+        np.testing.assert_array_equal(images[0], images[3])
+
+    def test_unknown_baseline_raises(self, store):
+        with pytest.raises(ValueError, match="unknown baseline"):
+            make_baseline("psychic", store, SplitSpec())
+
+    def test_copy_baseline_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            PlacementCopyBaseline().forecast_images(np.zeros((4, SIZE)))
+        with pytest.raises(ValueError):
+            MeanTargetBaseline.fit([])
+
+
+class TestCompareReports:
+    def _report(self, store, forecaster):
+        result = evaluate_store(store, forecaster)
+        return evaluation_report(store, result, forecaster.identity)
+
+    def test_identical_reports_compare_ok(self, store, forecaster):
+        report = self._report(store, forecaster)
+        comparison = compare_reports(report, json.loads(
+            render_report(report)))
+        assert comparison.ok
+        assert "all metrics within tolerance" in comparison.format()
+
+    def test_metric_drift_detected_with_readable_diff(self, store,
+                                                      forecaster):
+        report = self._report(store, forecaster)
+        drifted = json.loads(render_report(report))
+        drifted["metrics"]["nrms"] += 0.05
+        comparison = compare_reports(report, drifted,
+                                     tolerances={"nrms": 1e-6})
+        assert not comparison.ok
+        assert [d.name for d in comparison.drifted] == ["nrms"]
+        text = comparison.format()
+        assert "DRIFT" in text and "nrms" in text and "drift:" in text
+
+    def test_within_tolerance_passes(self, store, forecaster):
+        report = self._report(store, forecaster)
+        nudged = json.loads(render_report(report))
+        nudged["metrics"]["nrms"] += 1e-7
+        assert compare_reports(report, nudged,
+                               tolerances={"nrms": 1e-6}).ok
+
+    def test_missing_metric_is_failure(self, store, forecaster):
+        report = self._report(store, forecaster)
+        stripped = json.loads(render_report(report))
+        del stripped["metrics"]["ssim"]
+        comparison = compare_reports(report, stripped)
+        assert not comparison.ok
+        assert any("missing" in d.format() for d in comparison.drifted)
+
+    def test_different_data_is_failure_unless_allowed(self, store,
+                                                      forecaster):
+        report = self._report(store, forecaster)
+        other = json.loads(render_report(report))
+        other["dataset"]["fingerprint"] = "0" * 64
+        assert not compare_reports(report, other).ok
+        assert compare_reports(report, other,
+                               require_same_data=False).ok
+
+    def test_unknown_tolerance_is_failure(self, store, forecaster):
+        report = self._report(store, forecaster)
+        comparison = compare_reports(report, report,
+                                     tolerances={"nope": 1.0})
+        assert not comparison.ok
+
+    def test_load_report_rejects_non_reports(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="not an eval report"):
+            load_report(path)
+
+
+class TestCli:
+    def test_run_writes_byte_identical_reports(self, store, checkpoint,
+                                               tmp_path, capsys):
+        args = ["eval", "run", "--store", str(store.root),
+                "--checkpoint", str(checkpoint), "--batch-size", "4"]
+        out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(args + ["--out", str(out_a)]) == 0
+        assert main(args + ["--out", str(out_b), "--workers", "4"]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+        assert "nrms" in capsys.readouterr().out
+
+    def test_compare_ok_and_drift_exit_codes(self, store, checkpoint,
+                                             tmp_path, capsys):
+        out = tmp_path / "r.json"
+        main(["eval", "run", "--store", str(store.root),
+              "--checkpoint", str(checkpoint), "--out", str(out)])
+        assert main(["eval", "compare", str(out), str(out)]) == 0
+        drifted = tmp_path / "drifted.json"
+        report = json.loads(out.read_text())
+        report["metrics"]["nrms"] += 1.0
+        drifted.write_text(json.dumps(report))
+        with pytest.raises(SystemExit):
+            main(["eval", "compare", str(out), str(drifted)])
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_compare_tolerance_flag(self, store, checkpoint, tmp_path):
+        out = tmp_path / "r.json"
+        main(["eval", "run", "--store", str(store.root),
+              "--checkpoint", str(checkpoint), "--out", str(out)])
+        drifted = tmp_path / "drifted.json"
+        report = json.loads(out.read_text())
+        report["metrics"]["nrms"] += 0.5
+        drifted.write_text(json.dumps(report))
+        assert main(["eval", "compare", str(out), str(drifted),
+                     "--tolerance", "nrms=1.0"]) == 0
+
+    def test_baselines_command(self, store, tmp_path, capsys):
+        assert main(["eval", "baselines", "--store", str(store.root),
+                     "--out-dir", str(tmp_path / "base")]) == 0
+        out = capsys.readouterr().out
+        assert "placement-copy" in out and "mean-target" in out
+        assert (tmp_path / "base" / "mean-target.json").exists()
+
+    def test_run_requires_exactly_one_model_source(self, store):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["eval", "run", "--store", str(store.root)])
+
+    def test_run_via_registry_directory(self, store, checkpoint, capsys):
+        assert main(["eval", "run", "--store", str(store.root),
+                     "--checkpoints", str(checkpoint.parent),
+                     "--model", checkpoint.stem]) == 0
+        assert checkpoint.stem in capsys.readouterr().out
+
+    def test_unknown_registry_model_exits_cleanly(self, store,
+                                                  checkpoint):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(["eval", "run", "--store", str(store.root),
+                  "--checkpoints", str(checkpoint.parent),
+                  "--model", "nosuch"])
+
+    def test_missing_store_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="error"):
+            main(["eval", "run", "--store", str(tmp_path / "nope"),
+                  "--baseline", "placement-copy"])

@@ -78,6 +78,14 @@ class TestExamples:
         assert "peak residency" in result.stdout
         assert (out_dir / "data" / "store" / "manifest.json").exists()
 
+    def test_eval_report(self, tmp_path, out_dir):
+        result = run_example("eval_report.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "byte-identical re-run: True" in result.stdout
+        assert "compare: ok" in result.stdout
+        assert (out_dir / "eval" / "report_all.json").exists()
+        assert (out_dir / "eval" / "report_holdout.json").exists()
+
     def test_packing_flow(self, tmp_path, out_dir):
         result = run_example("packing_flow.py", tmp_path)
         assert result.returncode == 0, result.stderr

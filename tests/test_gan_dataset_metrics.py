@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.gan import (
     Dataset,
-    Sample,
     image_congestion_score,
     make_input_stack,
     per_pixel_accuracy,
@@ -22,20 +21,7 @@ from repro.gan.dataset import (
 )
 from repro.gan.metrics import regional_congestion_score
 from repro.viz.colors import utilization_to_rgb
-
-
-def make_sample(design="d", size=8, seed=0, congestion=0.5) -> Sample:
-    rng = np.random.default_rng(seed)
-    return Sample(
-        design=design,
-        x=rng.normal(size=(4, size, size)).astype(np.float32),
-        y=np.tanh(rng.normal(size=(3, size, size))).astype(np.float32),
-        true_congestion=congestion,
-        placer_options={"seed": seed, "alpha_t": None, "inner_num": 1.0,
-                        "place_algorithm": "bounding_box"},
-        route_seconds=0.5,
-        place_seconds=1.0,
-    )
+from tests.conftest import make_sample
 
 
 class TestNormalization:

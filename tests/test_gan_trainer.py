@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.gan import Dataset, Pix2Pix, Pix2PixConfig, Pix2PixTrainer
-from tests.test_gan_dataset_metrics import make_sample
+from tests.conftest import make_dataset
 
 
 @pytest.fixture
@@ -16,7 +16,7 @@ def trainer():
 
 @pytest.fixture
 def data():
-    return Dataset([make_sample("a", size=16, seed=i) for i in range(4)])
+    return make_dataset(4, size=16, design="a")
 
 
 class TestFit:
@@ -77,11 +77,9 @@ class TestFineTune:
     def test_transfer_improves_on_new_design(self, trainer):
         """Strategy 2: fine-tuning on pairs from an unseen design improves
         accuracy on that design (the paper's Acc.1 -> Acc.2 gain)."""
-        base = Dataset([make_sample("seen", size=16, seed=i)
-                        for i in range(4)])
+        base = make_dataset(4, size=16, design="seen")
         # The unseen design has systematically different targets.
-        unseen = Dataset([make_sample("unseen", size=16, seed=100 + i)
-                          for i in range(4)])
+        unseen = make_dataset(4, size=16, design="unseen", seed0=100)
         for sample in unseen:
             sample.y = np.clip(sample.y * 0.2 + 0.5, -1, 1)
         trainer.fit(base, epochs=6)

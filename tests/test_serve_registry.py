@@ -7,9 +7,9 @@ from repro.serve import ModelRegistry
 
 
 @pytest.fixture()
-def checkpoint_dir(tmp_path, tiny_model, make_model):
-    tiny_model.save(tmp_path / "diffeq1.npz")
-    make_model(seed=5).save(tmp_path / "ode.npz")
+def checkpoint_dir(tmp_path, tiny_model, make_checkpoint):
+    make_checkpoint("diffeq1", directory=tmp_path, model=tiny_model)
+    make_checkpoint("ode", directory=tmp_path, seed=5)
     return tmp_path
 
 
