@@ -9,6 +9,7 @@ routed congestion) over the ode placement pool.
 
 import numpy as np
 from conftest import write_result
+from reporting import benchmark_entry, entry, write_bench_json
 from scipy.stats import spearmanr
 
 from repro.fpga import PathFinderRouter
@@ -59,6 +60,13 @@ def test_cgan_vs_rudy(benchmark, scale, ode_bundle, ode_trainer,
         "  usefully.  See EXPERIMENTS.md.",
     ]
     write_result("baseline_rudy", lines)
+    write_bench_json("baseline_rudy", [
+        benchmark_entry("rudy_forecast", benchmark, shape=rudy_image.shape),
+        entry("cgan_fidelity", accuracy=float(np.mean(gan_acc)),
+              rank_rho=gan_rho),
+        entry("rudy_fidelity", accuracy=float(np.mean(rudy_acc)),
+              rank_rho=rudy_rho),
+    ], scale.name)
 
     if quality_checks:
         # Defensible claims at reduced scale: both predictors carry real

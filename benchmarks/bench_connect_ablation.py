@@ -8,6 +8,7 @@ connectivity channel and compares held-out accuracy and ranking.
 
 import numpy as np
 from conftest import write_result
+from reporting import benchmark_entry, entry, write_bench_json
 from scipy.stats import spearmanr
 
 from repro.gan import (
@@ -76,6 +77,10 @@ def test_connect_channel_ablation(benchmark, scale, ode_bundle,
     lines.append("  (paper stacks lambda*img_connect = 0.1 onto the input; "
                  "the channel should not hurt)")
     write_result("connect_ablation", lines)
+    write_bench_json("connect_ablation", [
+        benchmark_entry("connect_ablation_run", benchmark),
+    ] + [entry(f"accuracy_{variant}", accuracy=accuracy, rank_rho=rho)
+         for variant, (accuracy, rho) in results.items()], scale.name)
 
     with_acc = results["with-connect"][0]
     without_acc = results["no-connect"][0]

@@ -18,6 +18,7 @@ import os
 import time
 
 from conftest import write_result
+from reporting import entry, write_bench_json
 
 from repro.config import custom_scale, get_scale
 from repro.data import MemoryLoader, ShardedStore, StreamingLoader, build_design_store
@@ -89,6 +90,13 @@ def test_datagen_throughput(tmp_path, scale):
                  f"{streaming_penalty:.1f}x the in-memory cost")
 
     write_result("datagen", lines)
+    entries = [entry("datagen_build_serial",
+                     wall_time_s=serial_seconds / NUM_PLACEMENTS,
+                     throughput=NUM_PLACEMENTS / serial_seconds)]
+    entries += [entry(f"loader_{name.replace('+', '_').replace('-', '_')}",
+                      wall_time_s=1.0 / rate, throughput=rate)
+                for name, rate in rates.items()]
+    write_bench_json("datagen", entries, scale.name)
     assert store.verify() == []
     # Streaming must stay shard-bounded no matter the corpus size.
     loader = StreamingLoader(store, seed=2)

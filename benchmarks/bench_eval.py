@@ -15,6 +15,8 @@ import time
 
 import numpy as np
 from conftest import write_result
+from reporting import entry, write_bench_json
+from workloads import measure_eval_batch
 
 from repro.data import ShardedStore
 from repro.eval import CheckpointForecaster, evaluate_store, metric_suite
@@ -98,6 +100,22 @@ def test_eval_throughput(tmp_path):
         f"{pipeline_rate[16]:6.1f} samples/s at batch 16 "
         f"({pipeline_rate[16] / pipeline_rate[1]:.2f}x)")
     write_result("eval", lines)
+
+    from repro.config import get_scale
+
+    scale = get_scale()
+    canonical = measure_eval_batch(scale)
+    write_bench_json("eval", [
+        entry(**canonical),
+        entry("metrics_batched", shape=[BATCH, 3, KERNEL_SIZE, KERNEL_SIZE],
+              wall_time_s=batched_total, throughput=BATCH / batched_total),
+        entry("metrics_loop", shape=[BATCH, 3, KERNEL_SIZE, KERNEL_SIZE],
+              wall_time_s=loop_total, throughput=BATCH / loop_total),
+        entry("eval_store_b1", wall_time_s=1.0 / pipeline_rate[1],
+              throughput=pipeline_rate[1]),
+        entry("eval_store_b16", wall_time_s=1.0 / pipeline_rate[16],
+              throughput=pipeline_rate[16]),
+    ], scale.name)
 
     # Acceptance: vectorizing the metric pass must pay for itself 5x over.
     assert speedup >= 5.0, (

@@ -8,6 +8,7 @@ the difference image (Figure 2e) is zero outside the channels.
 
 import numpy as np
 from conftest import write_result
+from reporting import benchmark_entry, write_bench_json
 
 from repro.fpga import PathFinderRouter, Placement, PlacerOptions, SimulatedAnnealingPlacer
 from repro.viz import (
@@ -52,6 +53,9 @@ def test_fig2_pipeline(benchmark, scale, suite_bundles):
         f"{bool(not (changed & ~mask).any())}",
     ]
     write_result("fig2_pipeline", lines)
+    write_bench_json("fig2_pipeline", [
+        benchmark_entry("fig2_panel", benchmark, shape=place.shape),
+    ], scale.name)
 
     # Figure 2's central observation: images change only on channels.
     assert not (changed & ~mask).any()

@@ -7,6 +7,7 @@ connectivity images (while an identical placement reproduces the same one).
 
 import numpy as np
 from conftest import write_result
+from reporting import benchmark_entry, write_bench_json
 
 from repro.fpga import Placement
 from repro.viz import render_connectivity
@@ -35,6 +36,10 @@ def test_fig4_connectivity(benchmark, scale, suite_bundles):
         f"{bool(np.array_equal(image_a, image_a_again))}",
     ]
     write_result("fig4_connectivity", lines)
+    write_bench_json("fig4_connectivity", [
+        benchmark_entry("render_connectivity", benchmark,
+                        shape=image_a.shape),
+    ], scale.name)
 
     assert np.array_equal(image_a, image_a_again)
     assert not np.allclose(image_a, image_b)

@@ -9,6 +9,7 @@ are "aggressively optimized with relative large noises" without L1/skips).
 
 import pytest
 from conftest import RESULTS_DIR, write_result
+from reporting import benchmark_entry, entry, write_bench_json
 
 from repro.flows import run_ablation
 from repro.viz import write_png
@@ -51,6 +52,11 @@ def test_fig7_inference_images(benchmark, scale, or1200_bundle,
                  f"full={full:.1%} >= max(w/o L1={no_l1:.1%}, "
                  f"single={single:.1%}) - tol")
     write_result("fig7_ablation_images", lines)
+    write_bench_json("fig7_ablation_images", [
+        benchmark_entry("ablation_accuracy_eval", benchmark),
+    ] + [entry(f"accuracy_{name.replace('/', '').replace(' ', '_')}",
+               accuracy=result.accuracy)
+         for name, result in ablation_results.items()], scale.name)
 
     # The paper's qualitative claim: the full model produces the best map.
     assert full >= max(no_l1, single) - 0.05
@@ -77,6 +83,11 @@ def test_fig8_loss_curves(benchmark, scale, ablation_results,
         lines.append(f"    G-curve noise (mean |second diff|): "
                      f"{result.loss_noise:.4f}")
     write_result("fig8_loss_curves", lines)
+    write_bench_json("fig8_loss_curves", [
+        entry(f"loss_noise_{name.replace('/', '').replace(' ', '_')}",
+              g_final=result.history.g_total[-1],
+              loss_noise=result.loss_noise)
+        for name, result in ablation_results.items()], scale.name)
 
     for result in ablation_results.values():
         assert result.history.epochs == single_design_epochs

@@ -6,6 +6,7 @@ regions) and scores each choice against the routed ground truth.
 """
 
 from conftest import RESULTS_DIR, write_result
+from reporting import benchmark_entry, entry, write_bench_json
 
 from repro.flows import run_exploration
 from repro.viz import write_png
@@ -44,6 +45,11 @@ def test_fig9_exploration(benchmark, scale, ode_bundle, ode_trainer,
         write_png(out_dir / f"{obj.objective}_forecast.png",
                   ode_trainer.forecast(sample))
     write_result("fig9_exploration", lines)
+    write_bench_json("fig9_exploration", [
+        benchmark_entry("exploration_sweep", benchmark),
+        entry("exploration_rank_rho",
+              rank_rho=outcome.rank_correlation),
+    ], scale.name)
 
     overall_max = outcome.by_objective("overall-max")
     overall_min = outcome.by_objective("overall-min")

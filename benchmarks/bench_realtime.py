@@ -7,6 +7,7 @@ annealer improves the placement.
 
 import numpy as np
 from conftest import write_result
+from reporting import entry, write_bench_json
 
 from repro.flows import live_forecast
 from repro.fpga import PlacerOptions
@@ -40,6 +41,12 @@ def test_realtime_forecast(benchmark, scale, ode_bundle, ode_trainer):
         f"{frames[0].temperature:.3f} -> {frames[-1].temperature:.5f}",
     ]
     write_result("realtime", lines)
+    mean_latency = float(np.mean(latencies))
+    write_bench_json("realtime", [
+        entry("live_forecast_frame", wall_time_s=mean_latency,
+              throughput=1.0 / max(mean_latency, 1e-9),
+              frames=len(frames)),
+    ], scale.name)
 
     assert len(frames) >= 5
     # Forecast must keep up with the annealer (sub-second per frame).

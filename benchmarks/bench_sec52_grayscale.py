@@ -6,6 +6,7 @@ direction (color >= gray) is the claim checked here.
 """
 
 from conftest import write_result
+from reporting import entry, write_bench_json
 
 from repro.flows import run_grayscale_ablation
 
@@ -36,6 +37,12 @@ def test_grayscale_vs_color(benchmark, scale, or1200_bundle,
         f"{comparison.accuracy_drop:+.1%}",
     ]
     write_result("sec52_grayscale", lines)
+    write_bench_json("sec52_grayscale", [
+        entry("color_infer", wall_time_s=comparison.color_infer_seconds,
+              accuracy=comparison.color_accuracy),
+        entry("gray_infer", wall_time_s=comparison.gray_infer_seconds,
+              accuracy=comparison.gray_accuracy),
+    ], scale.name)
 
     # Shape claim: the color scheme should not be worse than grayscale
     # (the paper reports a 3-5% drop when going grayscale).

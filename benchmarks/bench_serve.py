@@ -13,6 +13,8 @@ import time
 
 import numpy as np
 from conftest import write_result
+from reporting import entry, write_bench_json
+from workloads import measure_serve_throughput
 
 from repro.serve import BatchingEngine, ForecastCache, ModelRegistry
 
@@ -93,7 +95,26 @@ def test_serve_throughput(benchmark, scale, ode_bundle, ode_trainer):
             f"{throughput[max_batch] / throughput[1]:.2f}x vs batch-1)")
     lines.append(f"  cache hit: {hit_seconds * 1e6:7.0f} us/forecast  "
                  f"({1.0 / hit_seconds:,.0f} forecasts/s)")
+
+    # Canonical engine-throughput workload (baseline-comparable).
+    canonical = measure_serve_throughput(scale)
+    lines.append(
+        f"  canonical engine throughput (synthetic {scale.image_size}px "
+        f"model, batch 16): {canonical['throughput']:7.1f} forecasts/s")
     write_result("serve", lines)
+
+    image_size = ode_bundle.layout.image_size
+    entries = [entry(**canonical)]
+    for max_batch in (1, 4, 16):
+        entries.append(entry(
+            f"serve_ode_b{max_batch}",
+            shape=[max_batch, 4, image_size, image_size],
+            wall_time_s=1.0 / throughput[max_batch],
+            throughput=throughput[max_batch],
+            mean_batch_occupancy=occupancy[max_batch]))
+    entries.append(entry("serve_cache_hit", wall_time_s=hit_seconds,
+                         throughput=1.0 / hit_seconds))
+    write_bench_json("serve", entries, scale.name)
 
     # Micro-batching must pay for itself, and cache hits must beat the
     # batched forward path by a wide margin.

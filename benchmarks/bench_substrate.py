@@ -7,6 +7,7 @@ experiment benches.
 
 import numpy as np
 from conftest import write_result
+from reporting import benchmark_entry, write_bench_json
 
 from repro.fpga import PathFinderRouter, Placement, PlacerOptions, SimulatedAnnealingPlacer
 from repro.gan import Pix2Pix, Pix2PixConfig
@@ -26,6 +27,10 @@ def test_placer_throughput(benchmark, scale, suite_bundles):
         f"placer: {result.num_moves} moves, "
         f"improvement {result.improvement:.1%}",
     ])
+    write_bench_json("substrate_placer", [
+        benchmark_entry("placer_anneal", benchmark,
+                        items_per_round=result.num_moves),
+    ], scale.name)
     assert result.improvement > 0.1
 
 
@@ -43,6 +48,10 @@ def test_router_throughput(benchmark, scale, suite_bundles):
         f"{result.wirelength}, converged={result.converged} "
         f"in {result.iterations} iterations",
     ])
+    write_bench_json("substrate_router", [
+        benchmark_entry("router_route", benchmark,
+                        items_per_round=bundle.netlist.num_nets),
+    ], scale.name)
     assert set(result.net_trees) == {n.id for n in bundle.netlist.nets}
 
 
@@ -51,6 +60,10 @@ def test_render_throughput(benchmark, suite_bundles):
     image = benchmark(render_placement, bundle.placements[0], bundle.layout)
     assert image.shape == (bundle.layout.image_size,
                            bundle.layout.image_size, 3)
+    from repro.config import get_scale
+    write_bench_json("substrate_render", [
+        benchmark_entry("render_placement", benchmark, shape=image.shape),
+    ], get_scale().name)
 
 
 def test_generator_inference_rate(benchmark, scale, suite_bundles):
@@ -61,6 +74,9 @@ def test_generator_inference_rate(benchmark, scale, suite_bundles):
 
     out = benchmark(model.generate, x)
     assert out.shape[1] == 3
+    write_bench_json("substrate_generator", [
+        benchmark_entry("generator_forward", benchmark, shape=x.shape),
+    ], scale.name)
 
 
 def test_train_step_rate(benchmark, scale, suite_bundles):
@@ -71,3 +87,7 @@ def test_train_step_rate(benchmark, scale, suite_bundles):
 
     losses = benchmark(model.train_step, sample.x[None], sample.y[None])
     assert np.isfinite(losses.g_total)
+    write_bench_json("substrate_train_step", [
+        benchmark_entry("train_step_or1200", benchmark,
+                        shape=sample.x[None].shape),
+    ], scale.name)

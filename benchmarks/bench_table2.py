@@ -7,6 +7,7 @@ minimum-congestion placements by forecast alone.
 """
 
 from conftest import write_result
+from reporting import benchmark_entry, entry, write_bench_json
 
 from repro.flows.experiments import Table2Row, run_table2
 
@@ -44,6 +45,11 @@ def test_table2(benchmark, scale, suite_bundles, quality_checks):
                  f"rho is the Spearman rank correlation of forecast vs "
                  f"routed congestion)")
     write_result("table2", lines)
+    write_bench_json("table2", [
+        benchmark_entry("table2_suite", benchmark),
+        entry("table2_means", acc1=mean_acc1, acc2=mean_acc2,
+              top10=mean_top, rank_rho=mean_rho),
+    ], scale.name)
 
     # Structural assertions hold at every scale.
     assert len(rows) == 8

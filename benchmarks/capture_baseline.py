@@ -1,0 +1,62 @@
+"""Pin the canonical hot-path timings as the perf-regression baseline.
+
+Run against any checkout (``PYTHONPATH`` selects the code under test):
+
+    PYTHONPATH=src python benchmarks/capture_baseline.py --scale smoke
+
+and commit the resulting ``benchmarks/baselines/<scale>.json``.  The
+committed files hold the *pre-PR-4* numbers — bench JSONs report
+``speedup_vs_baseline`` against them, and CI's perf-smoke gate fails
+when the training step regresses more than its allowance.  The file
+records a machine calibration factor so comparisons made on different
+hardware are normalized (see ``reporting.machine_calibration``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from reporting import BASELINE_DIR, machine_calibration  # noqa: E402
+from workloads import measure_all  # noqa: E402
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default=None,
+                        help="scale preset (default: $REPRO_SCALE)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: baselines/<scale>.json)")
+    args = parser.parse_args()
+
+    import os
+    if args.scale:
+        os.environ["REPRO_SCALE"] = args.scale
+    from repro.config import get_scale
+
+    scale = get_scale()
+    calibration = machine_calibration()
+    print(f"scale={scale.name} image={scale.image_size}px "
+          f"calibration={calibration * 1e3:.2f} ms")
+    ops = {}
+    for row in measure_all(scale):
+        ops[row.pop("op")] = row
+        name = next(reversed(ops))
+        print(f"  {name:22s} wall={row['wall_time_s'] * 1e3:8.3f} ms  "
+              f"throughput={row['throughput']:10.1f}/s")
+
+    out = Path(args.out) if args.out else BASELINE_DIR / f"{scale.name}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(
+        {"scale": scale.name, "image_size": scale.image_size,
+         "calibration_s": calibration, "ops": ops},
+        indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

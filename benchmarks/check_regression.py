@@ -1,0 +1,91 @@
+"""Perf-regression gate: compare a bench JSON against the pinned baseline.
+
+CI's perf-smoke job runs the core benches (which write
+``results/BENCH_*.json``) and then:
+
+    python benchmarks/check_regression.py --scale smoke --max-ratio 1.5
+
+fails if any gated op's calibration-normalized wall time regressed more
+than ``--max-ratio`` versus ``baselines/<scale>.json``.  The committed
+baselines hold the pre-PR-4 hot-path numbers, so this gate both blocks
+future regressions and documents the speedups this PR landed (a current
+wall time *above* the pre-PR baseline divided by 1.5 means the
+optimization work has been more than undone).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE_DIR = Path(__file__).parent / "baselines"
+
+#: op -> BENCH file that records it.  These are the gated hot paths.
+GATED_OPS = {
+    "train_step": "speedup",
+    "forecast_single": "speedup",
+    "serve_throughput_b16": "serve",
+    "eval_batch16": "eval",
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke")
+    parser.add_argument("--max-ratio", type=float, default=1.5,
+                        help="fail when normalized wall time exceeds "
+                             "baseline * ratio (default 1.5)")
+    args = parser.parse_args()
+
+    baseline_path = BASELINE_DIR / f"{args.scale}.json"
+    if not baseline_path.is_file():
+        print(f"ERROR: no committed baseline at {baseline_path}")
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    base_calib = baseline.get("calibration_s") or 1.0
+
+    failures = []
+    for op, bench in GATED_OPS.items():
+        bench_path = RESULTS_DIR / f"BENCH_{bench}.json"
+        if not bench_path.is_file():
+            failures.append(f"{op}: missing {bench_path.name} "
+                            f"(did bench_{bench}.py run?)")
+            continue
+        document = json.loads(bench_path.read_text())
+        if document.get("scale") != args.scale:
+            failures.append(f"{op}: {bench_path.name} is scale "
+                            f"{document.get('scale')!r}, expected "
+                            f"{args.scale!r}")
+            continue
+        row = next((e for e in document["entries"] if e["op"] == op), None)
+        base = baseline.get("ops", {}).get(op)
+        if row is None or not row.get("wall_time_s") or not base:
+            failures.append(f"{op}: not measured (bench or baseline row "
+                            f"missing)")
+            continue
+        calib = document.get("calibration_s") or base_calib
+        normalized = row["wall_time_s"] / calib
+        allowed = base["wall_time_s"] / base_calib * args.max_ratio
+        speedup = (base["wall_time_s"] / base_calib) / normalized
+        status = "OK " if normalized <= allowed else "FAIL"
+        print(f"{status} {op:22s} wall {row['wall_time_s'] * 1e3:8.3f} ms  "
+              f"{speedup:5.2f}x vs pre-PR baseline "
+              f"(gate: >= {1.0 / args.max_ratio:.2f}x)")
+        if normalized > allowed:
+            failures.append(
+                f"{op}: {row['wall_time_s'] * 1e3:.3f} ms normalized is "
+                f"worse than baseline x {args.max_ratio}")
+    if failures:
+        print("\nperf-smoke regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf-smoke regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

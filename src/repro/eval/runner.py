@@ -128,8 +128,26 @@ class CheckpointForecaster:
                    _checkpoint_identity(registry.info(model_id)))
 
     def forecast_images(self, x: np.ndarray) -> np.ndarray:
-        """Deterministic (noise-free) forecasts as (N, H, W, 3) in [0, 1]."""
+        """Deterministic (noise-free) forecasts as (N, H, W, 3) in [0, 1].
+
+        Runs the generator's fused ``forward_eval`` path (no gradient
+        caches, workspace-arena scratch) — bitwise-equal to an eval-mode
+        ``forward``, so reports stay byte-stable across the two routes.
+        """
         return self.model.forecast(x, sample_noise=False)
+
+    def warm(self, batch_size: int) -> "CheckpointForecaster":
+        """Preallocate the model's workspace at the eval batch width.
+
+        One dummy forward grows the arena to its steady-state footprint so
+        no shard pays the first-call allocation cost (used by the parallel
+        runner's worker initializer).
+        """
+        cfg = self.model.config
+        self.forecast_images(np.zeros(
+            (batch_size, cfg.input_channels, cfg.image_size,
+             cfg.image_size), dtype=np.float32))
+        return self
 
 
 def _checkpoint_identity(info) -> dict:
@@ -227,7 +245,7 @@ def _init_eval_worker(store_root: str, checkpoint: str,
                       designs: list[str] | None, batch_size: int) -> None:
     _EVAL_WORKER["store"] = ShardedStore.open(store_root)
     _EVAL_WORKER["forecaster"] = CheckpointForecaster.from_checkpoint(
-        checkpoint)
+        checkpoint).warm(batch_size)
     _EVAL_WORKER["metrics"] = metric_suite(thresholds=thresholds,
                                            roc_threshold=roc_threshold)
     _EVAL_WORKER["designs"] = designs

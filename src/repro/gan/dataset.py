@@ -27,6 +27,18 @@ def from_unit_range(image_pm1: np.ndarray) -> np.ndarray:
                    0.0, 1.0)
 
 
+def from_unit_range_(image_pm1: np.ndarray) -> np.ndarray:
+    """In-place :func:`from_unit_range` for a caller-owned float32 array.
+
+    Bitwise the same values (/2 is *0.5 exactly), zero allocations —
+    used on the forecast hot path where the tanh output is already a
+    fresh array nobody else holds.
+    """
+    image_pm1 += 1.0
+    image_pm1 *= 0.5
+    return np.clip(image_pm1, 0.0, 1.0, out=image_pm1)
+
+
 def _chw(image_hwc: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(image_hwc.transpose(2, 0, 1))
 

@@ -57,11 +57,27 @@ class PatchDiscriminator(Module):
         self.net = Sequential(*layers)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Map (n, in_channels, s, s) to a patch of logits."""
+        """Map (n, in_channels, s, s) to a patch of logits.
+
+        With a workspace attached the returned logits view into the final
+        conv's arena buffer: they are copied out so callers may hold them
+        across passes (the patch is tiny, the copy is noise).
+        """
         if x.shape[1] != self.in_channels:
             raise ValueError(
                 f"expected {self.in_channels} channels, got {x.shape[1]}")
-        return self.net.forward(x)
+        out = self.net.forward(x)
+        return out.copy() if self._ws is not None else out
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
-        return self.net.backward(grad)
+    def forward_eval(self, x: np.ndarray) -> np.ndarray:
+        """Fused inference logits (no gradient caches), caller-owned."""
+        if x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} channels, got {x.shape[1]}")
+        return self.net.forward_eval(x).copy()
+
+    def backward(self, grad: np.ndarray,
+                 need_input_grad: bool = True) -> np.ndarray | None:
+        """Backpropagate; the D-step passes ``need_input_grad=False``
+        since only the G-step consumes the gradient w.r.t. (x, g)."""
+        return self.net.backward(grad, need_input_grad=need_input_grad)

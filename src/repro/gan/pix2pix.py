@@ -23,7 +23,7 @@ import numpy as np
 from repro.config import ExperimentScale
 from repro.gan.discriminator import PatchDiscriminator
 from repro.gan.unet import UNetGenerator
-from repro.nn import Adam, BCEWithLogitsLoss, L1Loss
+from repro.nn import Adam, BCEWithLogitsLoss, L1Loss, Workspace
 
 
 @dataclass(frozen=True)
@@ -107,34 +107,60 @@ class Pix2Pix:
         self.opt_d = Adam(self.discriminator.parameters(), **adam_kwargs)
         self._bce = BCEWithLogitsLoss()
         self._l1 = L1Loss()
+        # One scratch arena per model: conv/norm/activation temporaries and
+        # the train-step concat inputs all live here, reused across steps
+        # (see repro.nn.workspace).  Detach with attach_workspace(None) to
+        # fall back to the allocating per-call path — same bits, slower.
+        self.workspace = Workspace()
+        self.generator.attach_workspace(self.workspace)
+        self.discriminator.attach_workspace(self.workspace)
 
     # -- training --------------------------------------------------------------
+
+    def _concat_input(self, name: str, x: np.ndarray,
+                      image: np.ndarray) -> np.ndarray:
+        """Stack (condition, image) into a reused workspace buffer."""
+        shape = (x.shape[0], x.shape[1] + image.shape[1]) + x.shape[2:]
+        out = self.workspace.buffer(self, name, shape, x.dtype)
+        np.concatenate([x, image], axis=1, out=out)
+        return out
 
     def train_step(self, x: np.ndarray, y: np.ndarray) -> StepLosses:
         """One D update followed by one G update on a batch."""
         generator = self.generator
         discriminator = self.discriminator
-        generator.train(True)
-        discriminator.train(True)
+        # The recursive flag walk is measurable at one call per step; both
+        # nets stay in training mode across fit loops, so skip it then.
+        if not generator.training:
+            generator.train(True)
+        if not discriminator.training:
+            discriminator.train(True)
+        # Parameters are about to change: invalidate the fused-weight
+        # caches the eval path keys on this counter.
+        self.workspace.generation += 1
 
         fake = generator.forward(x)
 
         # ---- discriminator step -------------------------------------------
         self.opt_d.zero_grad()
-        real_logits = discriminator.forward(np.concatenate([x, y], axis=1))
+        real_logits = discriminator.forward(self._concat_input("real", x, y))
         d_real = self._bce.forward(real_logits, 1.0)
-        discriminator.backward(0.5 * self._bce.backward())
+        discriminator.backward(0.5 * self._bce.backward(),
+                               need_input_grad=False)
 
-        fake_logits = discriminator.forward(
-            np.concatenate([x, fake], axis=1))
+        # One concat serves both the D-fake and the G-fool pass below: the
+        # discriminator never mutates its input and opt_d.step() only
+        # touches parameters.
+        fake_input = self._concat_input("fake", x, fake)
+        fake_logits = discriminator.forward(fake_input)
         d_fake = self._bce.forward(fake_logits, 0.0)
-        discriminator.backward(0.5 * self._bce.backward())
+        discriminator.backward(0.5 * self._bce.backward(),
+                               need_input_grad=False)
         self.opt_d.step()
 
         # ---- generator step -------------------------------------------------
         self.opt_g.zero_grad()
-        fool_logits = discriminator.forward(
-            np.concatenate([x, fake], axis=1))
+        fool_logits = discriminator.forward(fake_input)
         g_gan = self._bce.forward(fool_logits, 1.0)
         d_input_grad = discriminator.backward(self._bce.backward())
         grad_fake = d_input_grad[:, x.shape[1]:]
@@ -144,7 +170,8 @@ class Pix2Pix:
         if self.config.l1_weight > 0:
             grad_fake = grad_fake + self.config.l1_weight * self._l1.backward()
 
-        generator.backward(grad_fake.astype(np.float32))
+        generator.backward(np.ascontiguousarray(grad_fake, dtype=np.float32),
+                           need_input_grad=False)
         self.opt_g.step()
         # The G pass polluted D's parameter gradients; discard them.
         self.opt_d.zero_grad()
@@ -204,13 +231,17 @@ class Pix2Pix:
         noise z from dropout, including at test time).  With
         ``sample_noise=False`` the pass is deterministic and batch-invariant:
         stacking inputs into one batch yields bitwise the same outputs as
-        running them one at a time (see ``repro.nn.functional.blocked_matmul``),
-        which is what the serving engine's micro-batching relies on.
+        running them one at a time (conv gemms run per sample; see
+        ``repro.nn.layers.Conv2d``),
+        which is what the serving engine's micro-batching relies on.  The
+        deterministic pass runs the fused ``forward_eval`` route — no
+        gradient caches, arena scratch throughout — and computes bitwise
+        the same forecast as an eval-mode ``forward``.
         """
-        self.generator.train(sample_noise)
-        out = self.generator.forward(x)
+        if not sample_noise:
+            return self.generator.forward_eval(x)
         self.generator.train(True)
-        return out
+        return self.generator.forward(x)
 
     def forecast(self, x: np.ndarray, sample_noise: bool = False) -> np.ndarray:
         """Forecast heat-map *images* in [0, 1] from normalized inputs.
@@ -220,7 +251,7 @@ class Pix2Pix:
         accordingly.  Defaults to the deterministic (noise-free) pass used
         for scoring, caching, and serving.
         """
-        from repro.gan.dataset import from_unit_range
+        from repro.gan.dataset import from_unit_range_
 
         x = np.asarray(x, dtype=np.float32)
         if x.ndim not in (3, 4):
@@ -229,5 +260,7 @@ class Pix2Pix:
         single = x.ndim == 3
         out = self.generate(x[None] if single else x,
                             sample_noise=sample_noise)
-        images = from_unit_range(out.transpose(0, 2, 3, 1))
+        # The tanh output is fresh and ours: denormalize in place over the
+        # contiguous NCHW layout, then hand out the (N, H, W, 3) view.
+        images = from_unit_range_(out).transpose(0, 2, 3, 1)
         return images[0] if single else images

@@ -127,7 +127,7 @@ class UNetGenerator(Module):
 
     # -- computation ---------------------------------------------------------
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def _check_input(self, x: np.ndarray) -> None:
         if x.shape[1] != self.in_channels:
             raise ValueError(
                 f"expected {self.in_channels} input channels, got {x.shape[1]}")
@@ -135,6 +135,9 @@ class UNetGenerator(Module):
             raise ValueError(
                 f"expected {self.image_size}x{self.image_size} input, "
                 f"got {x.shape[2]}x{x.shape[3]}")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._check_input(x)
         enc_acts = []
         h = x
         for block in self.enc_blocks:
@@ -151,7 +154,43 @@ class UNetGenerator(Module):
             d = block.forward(d)
         return d
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
+    def forward_eval(self, x: np.ndarray) -> np.ndarray:
+        """Fused inference pass (bitwise-equal to an eval-mode ``forward``).
+
+        Every encoder/decoder block runs its conv + norm + activation
+        through arena scratch with no gradient caches; skip activations
+        stay untouched in their producers' buffers (the decoder-side
+        activation runs in place only on the concat scratch it owns, never
+        on an encoder activation a later skip still needs).  The final
+        Tanh allocates, so the returned forecast is caller-owned.
+        """
+        self._check_input(x)
+        enc_acts = []
+        h = x
+        for block in self.enc_blocks:
+            h = block.forward_eval(h)
+            enc_acts.append(h)
+
+        d = enc_acts[-1]
+        for j, block in enumerate(self.dec_blocks):
+            owns_input = False
+            if self._skip_at[j]:
+                concat = self._concats[j]
+                assert concat is not None
+                d = concat.forward_eval((d, enc_acts[self.num_downs - 1 - j]))
+                owns_input = True
+            d = block.forward_eval(d, owns_input=owns_input)
+        return d
+
+    def backward(self, grad: np.ndarray,
+                 need_input_grad: bool = True) -> np.ndarray | None:
+        """Backpropagate through decoder and encoder.
+
+        The training step discards the gradient with respect to the input
+        image; ``need_input_grad=False`` lets the outermost encoder conv
+        skip computing it (its input-gradient gemm and scatter are the
+        largest in the network).
+        """
         if self._enc_acts is None:
             raise RuntimeError("backward called before forward")
         downs = self.num_downs
@@ -181,5 +220,6 @@ class UNetGenerator(Module):
             total = enc_grads[i]
             if upstream is not None:
                 total = upstream if total is None else total + upstream
-            upstream = self.enc_blocks[i].backward(total)
+            upstream = self.enc_blocks[i].backward(
+                total, need_input_grad=need_input_grad or i > 0)
         return upstream

@@ -11,10 +11,15 @@ finite differences in the test suite.
 from repro.nn.functional import (
     blocked_matmul,
     col2im,
+    col2im_bt,
     conv2d_output_size,
     conv_transpose2d_output_size,
     im2col,
+    im2col_view,
     leaky_relu,
+    leaky_relu_,
+    pad2d,
+    relu_,
     sigmoid,
 )
 from repro.nn.init import he_normal, normal_init, xavier_uniform
@@ -41,6 +46,7 @@ from repro.nn.serialize import (
     state_dict_mismatch,
     validate_state_dict,
 )
+from repro.nn.workspace import Workspace
 
 __all__ = [
     "Adam",
@@ -61,15 +67,21 @@ __all__ = [
     "Sequential",
     "Sigmoid",
     "Tanh",
+    "Workspace",
     "blocked_matmul",
     "col2im",
+    "col2im_bt",
     "conv2d_output_size",
     "conv_transpose2d_output_size",
     "he_normal",
     "im2col",
+    "im2col_view",
     "leaky_relu",
+    "leaky_relu_",
     "load_state_dict",
     "normal_init",
+    "pad2d",
+    "relu_",
     "save_state_dict",
     "sigmoid",
     "state_dict_mismatch",

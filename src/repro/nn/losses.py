@@ -50,19 +50,36 @@ class BCEWithLogitsLoss(Loss):
 
 
 class L1Loss(Loss):
-    """Mean absolute error — the reconstruction term weighted by 50."""
+    """Mean absolute error — the reconstruction term weighted by 50.
+
+    Runs once per training step over full images, so its temporaries are
+    kept as instance scratch instead of reallocating.  The gradient
+    returned by ``backward`` stays valid across later ``forward`` calls
+    (it has its own buffer) but is overwritten by the next ``backward``.
+    """
 
     def __init__(self):
         self._diff: np.ndarray | None = None
+        self._abs: np.ndarray | None = None
+        self._grad: np.ndarray | None = None
+        self._ready = False
 
     def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
-        self._diff = pred - target
-        return float(np.abs(self._diff).mean())
+        diff = self._diff
+        if diff is None or diff.shape != pred.shape or diff.dtype != pred.dtype:
+            self._diff = diff = np.empty_like(pred)
+            self._abs = np.empty_like(pred)
+            self._grad = np.empty_like(pred)
+        np.subtract(pred, target, out=diff)
+        self._ready = True
+        return float(np.abs(diff, out=self._abs).mean())
 
     def backward(self) -> np.ndarray:
-        if self._diff is None:
+        if not self._ready:
             raise RuntimeError("backward called before forward")
-        return np.sign(self._diff) / self._diff.size
+        grad = np.sign(self._diff, out=self._grad)
+        grad /= grad.size
+        return grad
 
 
 class MSELoss(Loss):

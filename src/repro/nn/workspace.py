@@ -1,0 +1,125 @@
+"""Workspace arena: shape-keyed scratch buffers reused across passes.
+
+The conv hot path (``im2col`` packing, gemm outputs, ``col2im`` scatter
+images, activation masks) used to allocate every one of its large
+temporaries per call — at the repo's reduced image scales the allocator
+churn rivals the arithmetic.  A :class:`Workspace` is a per-model arena:
+each layer acquires named scratch buffers through it, the arena keeps one
+backing allocation per ``(owner, name, dtype)`` slot grown to its
+high-water mark, and every later acquisition is a view into the same
+memory.  Buffers therefore survive across forward/backward and across
+training steps, and a served model reaches a steady state that allocates
+nothing on the hot path.
+
+Aliasing contract (the reason this is safe without reference counting):
+
+* A slot is private to the layer that acquired it — two layers never
+  share backing memory, so cross-layer data flow is unaffected.
+* A buffer's contents are valid until the *same* layer runs the *same*
+  pass again.  The training loop runs ``forward`` then ``backward`` to
+  completion before the next forward, and the serving engine runs every
+  forward on one worker thread, so both satisfy the contract by
+  construction.  Concurrent passes over one model were already forbidden
+  (layers cache activations on ``self``); the arena does not change that.
+
+A module with no workspace attached allocates fresh arrays per call —
+bitwise the same results, just slower.  That legacy path is kept both as
+the safe default for bare layers built in tests and as the reference the
+parity suite compares the arena against.
+"""
+
+from __future__ import annotations
+
+from math import prod
+
+import numpy as np
+
+
+class _Slot:
+    """One scratch slot: a flat backing buffer plus memoized shape views.
+
+    The view cache is the fast path: a training loop acquires the same
+    (shape, dtype) every step, so after the first step ``buffer`` is two
+    dict hits — no ``reshape``, no size arithmetic.  Growing the backing
+    buffer invalidates the cache (old views point at freed memory).
+    """
+
+    __slots__ = ("flat", "views")
+
+    def __init__(self):
+        self.flat: np.ndarray | None = None
+        self.views: dict[tuple, np.ndarray] = {}
+
+
+class Workspace:
+    """Arena of named scratch buffers, keyed by owner and grown on demand.
+
+    Not thread-safe: a workspace belongs to one model and one pass at a
+    time, the same discipline the layers' activation caches already
+    require.
+    """
+
+    def __init__(self):
+        self._slots: dict[tuple[int, str], _Slot] = {}
+        #: Parameter-state generation.  Bumped by every training step and
+        #: state-dict load on an attached model; derived caches keyed on
+        #: parameters (e.g. the fused conv+norm weights of the eval path)
+        #: use it for invalidation.  Code that mutates parameters outside
+        #: those paths must bump it manually.
+        self.generation = 0
+        #: Backing-buffer epoch.  Bumped whenever any slot reallocates its
+        #: flat array; layer-side view/plan memos compare against it so a
+        #: growth never leaves them pinning (and returning) orphaned
+        #: backings.
+        self.epoch = 0
+
+    def buffer(self, owner: object, name: str, shape: tuple[int, ...],
+               dtype=np.float32) -> np.ndarray:
+        """A scratch array of ``shape`` backed by the slot's arena memory.
+
+        The returned array is a contiguous view into a flat backing
+        buffer that is reallocated only when a larger size is requested;
+        contents are whatever the slot last held (callers overwrite).
+        Different shapes acquired from one slot alias the same memory —
+        a slot holds one live scratch at a time.
+        """
+        key = (id(owner), name)
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = _Slot()
+            self._slots[key] = slot
+        view = slot.views.get(shape)
+        if view is not None and view.dtype == dtype:
+            return view
+        dt = np.dtype(dtype)
+        size = prod(shape)
+        flat = slot.flat
+        if flat is None or flat.dtype != dt or flat.size < size:
+            flat = np.empty(max(size, 1), dtype=dt)
+            slot.flat = flat
+            slot.views = {}
+            self.epoch += 1
+        view = flat[:size].reshape(shape)
+        slot.views[shape] = view
+        return view
+
+    @property
+    def num_slots(self) -> int:
+        return len(self._slots)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the arena (capacity, not live use).
+
+        Iterates a snapshot of the slot table: observability callers
+        (e.g. the serving engine's ``/metrics`` thread) may race the
+        worker thread inserting new slots, and ``list()`` under the GIL
+        is atomic where direct dict iteration would raise.
+        """
+        return sum(slot.flat.nbytes for slot in list(self._slots.values())
+                   if slot.flat is not None)
+
+    def clear(self) -> None:
+        """Drop every backing buffer (e.g. before pickling a model)."""
+        self._slots.clear()
+        self.epoch += 1

@@ -7,10 +7,15 @@ from hypothesis import strategies as st
 
 from repro.nn import (
     col2im,
+    col2im_bt,
     conv2d_output_size,
     conv_transpose2d_output_size,
     im2col,
+    im2col_view,
     leaky_relu,
+    leaky_relu_,
+    pad2d,
+    relu_,
     sigmoid,
 )
 
@@ -87,6 +92,60 @@ class TestIm2Col:
         assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
 
 
+class TestIm2ColFastPaths:
+    def test_im2col_view_is_zero_copy(self):
+        x = np.arange(2 * 3 * 6 * 6, dtype=np.float32).reshape(2, 3, 6, 6)
+        view = im2col_view(x, kernel=2, stride=2)
+        assert view.base is x or np.shares_memory(view, x)
+        assert view.shape == (2, 3, 3, 3, 2, 2)
+
+    @pytest.mark.parametrize("kernel,stride,pad", [
+        (4, 2, 1), (3, 1, 1), (2, 2, 0), (1, 1, 0), (4, 1, 2),
+    ])
+    def test_im2col_view_matches_im2col(self, kernel, stride, pad):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        padded = pad2d(x, pad)
+        view = im2col_view(padded, kernel, stride)
+        flat = np.ascontiguousarray(view).reshape(
+            view.shape[0] * view.shape[1] * view.shape[2], -1)
+        np.testing.assert_array_equal(flat,
+                                      im2col(x, kernel, stride, pad))
+
+    def test_im2col_out_buffer_round_trip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        expected = im2col(x, 3, 1, 1)
+        out = np.empty_like(expected)
+        pad_out = np.empty((1, 2, 8, 8), dtype=np.float32)
+        got = im2col(x, 3, 1, 1, out=out, pad_out=pad_out)
+        assert got is out
+        np.testing.assert_array_equal(got, expected)
+        # Reuse with a stale border skip must stay correct: the border was
+        # zeroed on the first call and nothing else wrote it.
+        again = im2col(x, 3, 1, 1, out=out, pad_out=pad_out,
+                       zero_border=False)
+        np.testing.assert_array_equal(again, expected)
+
+    def test_pad2d_matches_np_pad(self):
+        x = np.random.default_rng(2).normal(size=(2, 3, 5, 4)).astype(
+            np.float32)
+        np.testing.assert_array_equal(
+            pad2d(x, 2), np.pad(x, ((0, 0), (0, 0), (2, 2), (2, 2))))
+        assert pad2d(x, 0) is x
+
+    def test_col2im_bt_matches_col2im(self):
+        rng = np.random.default_rng(3)
+        n, c, h, w, k, s, p = 2, 3, 8, 8, 4, 2, 1
+        oh = conv2d_output_size(h, k, s, p)
+        col = rng.normal(size=(n * oh * oh, c * k * k)).astype(np.float32)
+        col_bt = np.ascontiguousarray(
+            col.reshape(n, oh * oh, c * k * k).transpose(0, 2, 1))
+        np.testing.assert_allclose(
+            col2im_bt(col_bt, (n, c, h, w), k, s, p),
+            col2im(col, (n, c, h, w), k, s, p), atol=1e-6)
+
+
 class TestActivations:
     def test_sigmoid_extremes_are_stable(self):
         x = np.array([-1000.0, 0.0, 1000.0])
@@ -103,6 +162,67 @@ class TestActivations:
     def test_leaky_relu_values(self):
         x = np.array([-2.0, 0.0, 3.0])
         np.testing.assert_allclose(leaky_relu(x, 0.2), [-0.4, 0.0, 3.0])
+
+    def test_sigmoid_computes_in_input_dtype(self):
+        """No float64 allocation + round-trip for float32 inputs."""
+        x32 = np.linspace(-50, 50, 101, dtype=np.float32)
+        y32 = sigmoid(x32)
+        assert y32.dtype == np.float32
+        assert np.all(np.isfinite(y32))
+        np.testing.assert_allclose(
+            y32, sigmoid(x32.astype(np.float64)).astype(np.float32),
+            atol=2e-7)
+        assert sigmoid(np.float64(0.5).reshape(())).dtype == np.float64
+        assert sigmoid(np.array([0, 1, 2])).dtype == np.float64  # int input
+
+    def test_sigmoid_gradcheck(self):
+        """Finite-difference check of the Sigmoid layer's derivative."""
+        from repro.nn import Sigmoid
+        from repro.nn.gradcheck import check_layer_input_grad
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(scale=2.0, size=(2, 1, 4, 4))
+        error = check_layer_input_grad(Sigmoid(), x)
+        assert error < 1e-6
+
+    def test_leaky_relu_matches_where_formulation_bitwise(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(512,)).astype(np.float32)
+        x[:2] = [0.0, -0.0]
+        for slope in (0.0, 0.2, 1.0):
+            expected = np.where(x >= 0, x, np.float32(slope) * x)
+            np.testing.assert_array_equal(leaky_relu(x, slope), expected)
+        # Infinities too, for every positive slope (at slope == 0 the
+        # max(x, 0*x) form yields NaN at +inf where np.where keeps inf —
+        # finite activations, the only kind a trained net produces, are
+        # bitwise identical).
+        x[:2] = [np.inf, -np.inf]
+        np.testing.assert_array_equal(
+            leaky_relu(x, 0.2), np.where(x >= 0, x, np.float32(0.2) * x))
+
+    def test_leaky_relu_out_rejects_aliasing(self):
+        x = np.zeros(4, dtype=np.float32)
+        with pytest.raises(ValueError, match="alias"):
+            leaky_relu(x, 0.2, out=x)
+
+    def test_leaky_relu_inplace_matches_out_of_place(self):
+        """Satellite: the in-place variants are value-equal."""
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(3, 5, 7)).astype(np.float32)
+        expected = leaky_relu(x, 0.2)
+        worked = x.copy()
+        result = leaky_relu_(worked, 0.2)
+        assert result is worked
+        np.testing.assert_array_equal(result, expected)
+
+    def test_relu_inplace_matches_out_of_place(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(64,)).astype(np.float32)
+        expected = leaky_relu(x, 0.0)
+        worked = x.copy()
+        result = relu_(worked)
+        assert result is worked
+        np.testing.assert_array_equal(result, expected)
 
 
 class TestBlockedMatmul:
@@ -145,3 +265,24 @@ class TestBlockedMatmul:
 
         with pytest.raises(ValueError, match="block_rows"):
             blocked_matmul(np.zeros((10, 4)), np.zeros((4, 2)), 4)
+
+    def test_out_buffer_matches_allocating_path(self):
+        from repro.nn import blocked_matmul
+
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(64, 16)).astype(np.float32)
+        b = rng.normal(size=(16, 5)).astype(np.float32)
+        expected = blocked_matmul(a, b, 16)
+        out = np.empty_like(expected)
+        got = blocked_matmul(a, b, 16, out=out)
+        assert got is out
+        np.testing.assert_array_equal(got, expected)
+
+    def test_contiguous_operands_skip_normalization(self):
+        from repro.nn import blocked_matmul
+
+        a = np.ones((8, 4), dtype=np.float32)
+        b = np.ones((4, 2), dtype=np.float32)
+        # Already C-contiguous: the result must be produced without the
+        # (copying) normalization path ever changing values.
+        np.testing.assert_array_equal(blocked_matmul(a, b, 4), a @ b)
