@@ -18,6 +18,11 @@ depends on, all implemented from scratch:
   the ablations, Figure 9 exploration, real-time forecasting during SA.
 * :mod:`repro.data`  — dataset platform: sharded on-disk store with a
   provenance manifest, parallel generation workers, streaming loader.
+* :mod:`repro.train` — run orchestration: TrainSpec manifests, the
+  epoch/step loop, run directories with exact-resume checkpoints, eval
+  hooks, and the sweep driver.
+* :mod:`repro.eval`  — evaluation platform: batched metric registry,
+  streaming store evaluation, deterministic JSON reports.
 * :mod:`repro.serve` — forecast serving: checkpoint registry,
   micro-batching inference engine, forecast cache, HTTP API + client.
 

@@ -3,7 +3,12 @@
 Commands mirror the flows API:
 
 * ``datagen``  — build a design's placement/routing dataset and save it.
-* ``train``    — train the cGAN on one or more designs, checkpoint it.
+* ``train``    — run orchestration: ``run`` a TrainSpec into a run
+  directory, ``resume`` an interrupted run bitwise-exactly from its
+  latest checkpoint, ``sweep`` many specs across worker processes, and
+  ``status`` a run directory without importing numpy.  The legacy flat
+  form (``repro train --designs ... --out ckpt.npz``) still trains the
+  cGAN on generated suite data and writes a checkpoint.
 * ``forecast`` — place a design fresh and forecast its heat map with a
   checkpointed model.
 * ``table2``   — run the Table 2 experiment and print the rows.
@@ -59,14 +64,61 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output .npz dataset path")
     _add_scale(datagen)
 
-    train = commands.add_parser("train", help="train the cGAN forecaster")
-    train.add_argument("--designs", default="diffeq1",
-                       help="comma-separated Table 2 design names")
+    train = commands.add_parser(
+        "train",
+        help="training runs: run/resume/sweep/status (or the legacy "
+             "flat form: --designs ... --out ckpt.npz)")
+    # Legacy flat form (kept working: `repro train --designs d --out m.npz`).
+    train.add_argument("--designs", default=None,
+                       help="comma-separated Table 2 design names "
+                            "(legacy flat form)")
     train.add_argument("--epochs", type=int, default=None)
     train.add_argument("--seed", type=int, default=1)
-    train.add_argument("--out", type=Path, required=True,
-                       help="model checkpoint path (.npz)")
+    train.add_argument("--out", type=Path, default=None,
+                       help="model checkpoint path (.npz, legacy flat form)")
     _add_scale(train)
+    train_commands = train.add_subparsers(dest="train_command")
+
+    train_run = train_commands.add_parser(
+        "run", help="execute a TrainSpec into a run directory")
+    train_run.add_argument("--spec", type=Path, required=True,
+                           help="TrainSpec JSON file")
+    train_run.add_argument("--runs", type=Path, required=True,
+                           help="root directory; the run lives at "
+                                "<runs>/<spec name>")
+    train_run.add_argument("--stop-after-steps", type=int, default=None,
+                           help="halt (with an exact-resume checkpoint) "
+                                "once global_step reaches this count")
+    train_run.add_argument("--log-every", type=int, default=None,
+                           help="print losses every N epochs")
+
+    train_resume = train_commands.add_parser(
+        "resume", help="continue a run from its latest checkpoint")
+    train_resume.add_argument("run_dir", type=Path)
+    train_resume.add_argument("--stop-after-steps", type=int, default=None)
+    train_resume.add_argument("--log-every", type=int, default=None)
+
+    train_sweep = train_commands.add_parser(
+        "sweep", help="fan a sweep file of specs across workers")
+    train_sweep.add_argument("--specs", type=Path, required=True,
+                             help="JSON: a list of specs, or "
+                                  "{'base': {...}, 'runs': [...]}")
+    train_sweep.add_argument("--runs", type=Path, required=True,
+                             help="sweep root directory (one run dir per "
+                                  "spec + sweep.json summary)")
+    train_sweep.add_argument("--workers", type=int, default=0,
+                             help="worker processes (0/1 = serial)")
+    train_sweep.add_argument("--base-seed", type=int, default=0,
+                             help="seed base for runs without an "
+                                  "explicit seed")
+
+    train_status = train_commands.add_parser(
+        "status", help="render run-directory progress (no numpy import)")
+    train_status.add_argument("run_dir", type=Path,
+                              help="a run directory, or a root holding "
+                                   "several")
+    train_status.add_argument("--json", action="store_true",
+                              help="emit machine-readable JSON")
 
     forecast = commands.add_parser(
         "forecast", help="forecast a fresh placement's heat map")
@@ -232,10 +284,101 @@ def cmd_datagen(args) -> int:
 
 
 def cmd_train(args) -> int:
-    from repro.flows import build_suite_bundles
-    from repro.gan import Pix2Pix, Pix2PixConfig, Pix2PixTrainer
-    from repro.gan.dataset import Dataset
+    try:
+        if args.train_command == "status":
+            # Deliberately numpy-free: only repro.train.status is
+            # imported, so polling a run never pays the model-stack
+            # import cost.
+            return _train_status(args)
+        if args.train_command == "run":
+            return _train_run(args)
+        if args.train_command == "resume":
+            return _train_resume(args)
+        if args.train_command == "sweep":
+            return _train_sweep(args)
+        return _train_legacy(args)
+    except (FileNotFoundError, FileExistsError, ValueError) as error:
+        raise SystemExit(f"error: {error}") from None
 
+
+def _print_run_result(result) -> None:
+    state = "done" if result.completed else "interrupted"
+    print(f"{state}: step {result.global_step}"
+          + (f", best {result.best_value:.6f} at epoch {result.best_epoch}"
+             if result.best_value is not None else ""))
+    for path in result.exported:
+        print(f"published {path}")
+    if not result.completed:
+        print(f"resume with: repro train resume {result.run_dir}")
+
+
+def _train_run(args) -> int:
+    from repro.train import Runner, TrainSpec
+
+    spec = TrainSpec.load(args.spec)
+    runner = Runner.create(spec, args.runs, log=print)
+    print(f"run directory: {runner.run_dir}")
+    result = runner.run(stop_after_steps=args.stop_after_steps,
+                        log_every=args.log_every)
+    _print_run_result(result)
+    return 0
+
+
+def _train_resume(args) -> int:
+    from repro.train import Runner
+
+    runner = Runner.resume(args.run_dir, log=print)
+    result = runner.run(stop_after_steps=args.stop_after_steps,
+                        log_every=args.log_every)
+    _print_run_result(result)
+    return 0
+
+
+def _train_sweep(args) -> int:
+    from repro.train import load_sweep_file, prepare_specs, run_sweep
+
+    specs = prepare_specs(load_sweep_file(args.specs),
+                          base_seed=args.base_seed)
+    print(f"sweep: {len(specs)} run(s), {args.workers} worker(s) "
+          f"-> {args.runs}")
+    rows = run_sweep(specs, args.runs, workers=args.workers, log=print)
+    failed = [row for row in rows if row["status"] == "failed"]
+    if failed:
+        raise SystemExit(f"{len(failed)} of {len(rows)} run(s) failed")
+    return 0
+
+
+def _train_status(args) -> int:
+    import json as json_module
+
+    from repro.train.status import (
+        format_run_status,
+        iter_run_dirs,
+        read_run_status,
+    )
+
+    run_dirs = list(iter_run_dirs(args.run_dir))
+    if not run_dirs:
+        raise SystemExit(f"error: no run directories under {args.run_dir}")
+    infos = [read_run_status(run_dir) for run_dir in run_dirs]
+    if args.json:
+        # Always an array, so consumers never probe the shape.
+        print(json_module.dumps(infos, indent=1, sort_keys=True))
+    else:
+        print("\n\n".join(format_run_status(info) for info in infos))
+    return 0
+
+
+def _train_legacy(args) -> int:
+    """The original flat ``repro train``: suite datagen + scratch run."""
+    from repro.flows import build_suite_bundles
+    from repro.gan.dataset import Dataset
+    from repro.train import Runner, TrainSpec
+
+    if args.designs is None or args.out is None:
+        raise SystemExit("error: repro train needs a subcommand "
+                         "(run/resume/sweep/status) or the legacy flags "
+                         "--designs and --out")
     scale = get_scale(args.scale)
     designs = [name.strip() for name in args.designs.split(",")]
     bundles = build_suite_bundles(scale, seed=args.seed, designs=designs,
@@ -243,14 +386,14 @@ def cmd_train(args) -> int:
     combined = Dataset()
     for bundle in bundles.values():
         combined.extend(bundle.dataset)
-    image_size = next(iter(bundles.values())).layout.image_size
     epochs = args.epochs if args.epochs is not None else scale.epochs
-    model = Pix2Pix(Pix2PixConfig.from_scale(scale, image_size=image_size,
-                                             seed=args.seed))
-    trainer = Pix2PixTrainer(model, seed=args.seed)
+    spec = TrainSpec(name="train", data="inline", scale=scale.name,
+                     seed=args.seed, epochs=epochs, order="shuffle",
+                     publish=False)
+    runner = Runner(spec, dataset=combined)
     print(f"training on {len(combined)} pairs for {epochs} epochs")
-    trainer.fit(combined, epochs, log_every=max(1, epochs // 5))
-    model.save(args.out)
+    runner.run(log_every=max(1, epochs // 5))
+    runner.model.save(args.out)
     print(f"checkpoint written to {args.out}")
     return 0
 
@@ -301,20 +444,12 @@ def cmd_table2(args) -> int:
 
 
 def cmd_explore(args) -> int:
-    from repro.flows import build_suite_bundles, run_exploration
-    from repro.gan import Pix2Pix, Pix2PixConfig, Pix2PixTrainer
-    from repro.gan.dataset import Dataset
+    from repro.flows import build_suite_bundles, run_exploration, train_explorer
 
     scale = get_scale(args.scale)
     bundles = build_suite_bundles(scale, seed=args.seed, log=print)
     bundle = bundles[args.design]
-    combined = Dataset()
-    for item in bundles.values():
-        combined.extend(item.dataset)
-    model = Pix2Pix(Pix2PixConfig.from_scale(
-        scale, image_size=bundle.layout.image_size, seed=args.seed))
-    trainer = Pix2PixTrainer(model, seed=args.seed)
-    trainer.fit(combined, scale.epochs * 2)
+    trainer = train_explorer(scale, bundles, args.design, seed=args.seed)
     outcome = run_exploration(bundle, trainer)
     print(f"rank correlation rho={outcome.rank_correlation:.2f}")
     for obj in outcome.outcomes:
@@ -561,7 +696,16 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pipe closed early (`repro ... | head`): exit
+        # quietly, pointing stdout at devnull so the interpreter's
+        # final flush cannot raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

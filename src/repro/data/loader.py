@@ -116,30 +116,58 @@ class _ShardLoader:
     def _load_shard(self, index: int) -> list[Sample]:
         raise NotImplementedError
 
+    def _shard_length(self, index: int) -> int:
+        """Sample count of one shard, without loading its arrays."""
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError
 
-    def epoch(self, index: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    def epoch(self, index: int, skip_batches: int = 0
+              ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Yield one epoch of ``(x, y)`` batches, deterministically.
 
-        The rng is seeded by ``(loader seed, epoch index)``, so epoch N is
-        the same regardless of how many epochs ran before it, and two
-        loaders over the same shard partition yield identical streams.
+        The rng is seeded by ``(loader seed, epoch index)`` — never the
+        module-level ``np.random`` state — so epoch N is the same
+        regardless of how many epochs ran before it, and two loaders over
+        the same shard partition yield identical streams.  The epoch plan
+        (shard order, within-shard orders, augmentation indices) is a pure
+        function of ``(seed, epoch)``, which makes a run's position
+        capturable as a plain ``(epoch, batches consumed)`` cursor.
+
+        ``skip_batches`` resumes mid-epoch at that cursor: the first
+        ``skip_batches`` batches of the plan are replayed without being
+        built or yielded, producing a stream bitwise-identical to the
+        tail of a full epoch.  Every rng draw still happens (the plan
+        must not diverge), but shards that fall entirely inside the
+        skipped prefix are never read — only their manifest lengths are.
+        Skipped batches are always full ones (a short batch can only be
+        the epoch's last), so the skip is ``skip_batches * batch_size``
+        samples.
         """
+        if skip_batches < 0:
+            raise ValueError(
+                f"skip_batches must be >= 0, got {skip_batches}")
         rng = np.random.default_rng((self.seed, index))
         num_shards = self._num_shards()
         shard_order = (rng.permutation(num_shards) if self.shuffle
                        else np.arange(num_shards))
+        to_skip = skip_batches * self.batch_size
         batch_x: list[np.ndarray] = []
         batch_y: list[np.ndarray] = []
         for shard_index in shard_order:
-            samples = self._load_shard(int(shard_index))
-            order = (rng.permutation(len(samples)) if self.shuffle
-                     else np.arange(len(samples)))
-            transforms = (rng.integers(0, NUM_DIHEDRAL, size=len(samples))
+            length = self._shard_length(int(shard_index))
+            order = (rng.permutation(length) if self.shuffle
+                     else np.arange(length))
+            transforms = (rng.integers(0, NUM_DIHEDRAL, size=length)
                           if self.augment else None)
-            for position, sample_index in enumerate(order):
-                sample = samples[int(sample_index)]
+            if to_skip >= length:
+                to_skip -= length
+                continue
+            samples = self._load_shard(int(shard_index))
+            start, to_skip = to_skip, 0
+            for position in range(start, length):
+                sample = samples[int(order[position])]
                 x, y = sample.x, sample.y
                 if transforms is not None:
                     x, y = augment_pair(x, y, int(transforms[position]))
@@ -179,6 +207,9 @@ class MemoryLoader(_ShardLoader):
     def _load_shard(self, index: int) -> list[Sample]:
         return self._shards[index]
 
+    def _shard_length(self, index: int) -> int:
+        return len(self._shards[index])
+
     def __len__(self) -> int:
         return len(self.dataset)
 
@@ -199,6 +230,9 @@ class StreamingLoader(_ShardLoader):
 
     def _num_shards(self) -> int:
         return self.store.num_shards
+
+    def _shard_length(self, index: int) -> int:
+        return int(self.store.manifest["shards"][index]["num_samples"])
 
     def _load_shard(self, index: int) -> list[Sample]:
         samples = self.store.load_shard(index).samples

@@ -21,7 +21,12 @@ from repro.flows.datagen import (
     suite_image_size,
     sweep_placer_options,
 )
-from repro.flows.exploration import ExplorationOutcome, region_mask, run_exploration
+from repro.flows.exploration import (
+    ExplorationOutcome,
+    region_mask,
+    run_exploration,
+    train_explorer,
+)
 from repro.flows.experiments import (
     AblationResult,
     Table2Row,
@@ -51,5 +56,6 @@ __all__ = [
     "run_grayscale_ablation",
     "run_table2",
     "suite_image_size",
+    "train_explorer",
     "sweep_placer_options",
 ]

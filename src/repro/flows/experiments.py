@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -76,6 +77,7 @@ def run_table2(
     seed: int = 0,
     cache_dir=None,
     log=None,
+    run_root=None,
 ) -> list[Table2Row]:
     """Reproduce Table 2 at the given scale.
 
@@ -84,29 +86,60 @@ def run_table2(
     then rank the remaining placements of D by forecast congestion and
     report the Top-k overlap with ground truth (Top10 column; k scales
     down with the dataset).
+
+    Both strategies execute through the :mod:`repro.train` run layer —
+    one :class:`~repro.train.runner.Runner` per design with a scratch
+    phase and a fine-tune phase, sample order and trajectories
+    bitwise-identical to the historical in-place loops.  Pass
+    ``run_root`` to persist each design's run directory (loss JSONL,
+    exact-resume checkpoints, published strategy-2 checkpoints);
+    ``None`` keeps the runs in memory.
     """
+    from repro.train import FinetuneSpec, Runner, TrainSpec, describe_scale
+
     if bundles is None:
         bundles = build_suite_bundles(scale, designs=designs, seed=seed,
                                       cache_dir=cache_dir, log=log)
     combined = _combined_dataset(bundles)
+    scale_name, scale_overrides = describe_scale(scale)
 
     rows = []
     for design, bundle in bundles.items():
         if log is not None:
             log(f"table2: leave-one-out training for {design}")
         train, test = combined.leave_one_out(design)
-        image_size = bundle.layout.image_size
-        model = Pix2Pix(Pix2PixConfig.from_scale(
-            scale, image_size=image_size, seed=seed))
-        trainer = Pix2PixTrainer(model, seed=seed)
-        trainer.fit(train, scale.epochs)
-        acc1 = trainer.mean_accuracy(test)
-
         finetune = test[:scale.finetune_pairs]
         holdout = test[scale.finetune_pairs:]
         if len(holdout) == 0:
             holdout = test
-        trainer.fine_tune(finetune, scale.finetune_epochs)
+
+        spec = TrainSpec(
+            name=f"table2-{design}",
+            data="inline",
+            scale=scale_name,
+            scale_overrides=scale_overrides,
+            seed=seed,
+            epochs=scale.epochs,
+            order="shuffle",
+            finetune=FinetuneSpec(epochs=scale.finetune_epochs,
+                                  pairs=len(finetune), design=design),
+            publish=run_root is not None,
+        )
+        runner = Runner(
+            spec,
+            run_dir=(Path(run_root) / spec.name
+                     if run_root is not None else None),
+            dataset=train, finetune_dataset=finetune, log=log)
+        trainer = Pix2PixTrainer(runner.model, seed=seed)
+        acc1_of = {}
+
+        def measure_acc1(phase_name: str, model,
+                         trainer=trainer, test=test, box=acc1_of) -> None:
+            if phase_name == "train":
+                box["acc1"] = trainer.mean_accuracy(test)
+
+        runner.run(on_phase=measure_acc1)
+        acc1 = acc1_of["acc1"]
         acc2 = trainer.mean_accuracy(holdout)
 
         # Top10: rank the *whole* testing set of the design by forecast

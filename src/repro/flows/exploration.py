@@ -92,6 +92,49 @@ def _spearman(a: np.ndarray, b: np.ndarray) -> float:
     return float(rho)
 
 
+def train_explorer(scale, bundles: dict[str, DesignBundle], design: str,
+                   seed: int = 0, run_root=None, log=None
+                   ) -> Pix2PixTrainer:
+    """Train the Figure 9 exploration forecaster through the run layer.
+
+    Trains on every bundle's samples for ``2 * scale.epochs`` (the
+    exploration flow's historical budget) with the classic shuffle
+    order, via a :class:`repro.train.runner.Runner` — pass ``run_root``
+    to keep the run directory (losses, exact-resume checkpoints, a
+    published checkpoint the serve registry can load).  Returns a
+    trainer facade around the trained model for the inference pass.
+    """
+    from pathlib import Path
+
+    from repro.gan.dataset import Dataset
+    from repro.train import Runner, TrainSpec, describe_scale
+
+    if design not in bundles:
+        known = ", ".join(sorted(bundles))
+        raise ValueError(f"unknown design {design!r}; bundles hold: {known}")
+    combined = Dataset()
+    for bundle in bundles.values():
+        combined.extend(bundle.dataset)
+    scale_name, scale_overrides = describe_scale(scale)
+    spec = TrainSpec(
+        name=f"explore-{design}",
+        data="inline",
+        scale=scale_name,
+        scale_overrides=scale_overrides,
+        seed=seed,
+        epochs=scale.epochs * 2,
+        order="shuffle",
+        publish=run_root is not None,
+    )
+    runner = Runner(
+        spec,
+        run_dir=(Path(run_root) / spec.name
+                 if run_root is not None else None),
+        dataset=combined, log=log)
+    runner.run()
+    return Pix2PixTrainer(runner.model, seed=seed)
+
+
 def run_exploration(bundle: DesignBundle, trainer: Pix2PixTrainer,
                     objectives=FIGURE9_OBJECTIVES) -> ExplorationOutcome:
     """Score every candidate placement by forecast and apply each objective."""

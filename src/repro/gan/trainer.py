@@ -1,4 +1,4 @@
-"""Training orchestration: epochs, evaluation, and transfer fine-tuning.
+"""Training facade: evaluation plus thin wrappers over the train loop.
 
 Implements the paper's two training strategies (Section 5.1):
 
@@ -7,40 +7,29 @@ Implements the paper's two training strategies (Section 5.1):
 * **Strategy 2** — additionally fine-tune the strategy-1 model on a handful
   of pairs from the test design (transfer learning; reported as Acc.2, and
   the model used for the Top10 ranking results).
+
+The epoch/step machinery lives in :mod:`repro.train.loop` (and the full
+run lifecycle — run directories, exact resume, eval hooks, sweeps — in
+:mod:`repro.train.runner`); this trainer keeps the per-step compute
+(through the model's ``train_step``) and evaluation, with ``fit`` /
+``fit_stream`` delegating to the shared loop bitwise-identically to the
+loops they replaced.  :class:`TrainHistory` is re-exported from the loop
+module for compatibility.
 """
 
 from __future__ import annotations
-
-import time
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.gan.dataset import Dataset, Sample
 from repro.gan.metrics import DEFAULT_TOLERANCE, per_pixel_accuracy
 from repro.gan.pix2pix import Pix2Pix
-
-
-@dataclass
-class TrainHistory:
-    """Per-epoch average losses (the curves of Figure 8)."""
-
-    g_total: list[float] = field(default_factory=list)
-    g_gan: list[float] = field(default_factory=list)
-    g_l1: list[float] = field(default_factory=list)
-    d_total: list[float] = field(default_factory=list)
-    epoch_seconds: list[float] = field(default_factory=list)
-
-    @property
-    def epochs(self) -> int:
-        return len(self.g_total)
-
-    def extend(self, other: "TrainHistory") -> None:
-        self.g_total.extend(other.g_total)
-        self.g_gan.extend(other.g_gan)
-        self.g_l1.extend(other.g_l1)
-        self.d_total.extend(other.d_total)
-        self.epoch_seconds.extend(other.epoch_seconds)
+from repro.train.loop import (   # noqa: F401  (TrainHistory re-export)
+    LoaderSource,
+    ShuffledDatasetSource,
+    TrainHistory,
+    TrainLoop,
+)
 
 
 class Pix2PixTrainer:
@@ -53,28 +42,16 @@ class Pix2PixTrainer:
 
     def fit(self, dataset: Dataset, epochs: int,
             log_every: int | None = None) -> TrainHistory:
-        """Train for ``epochs`` passes, shuffling each epoch."""
-        if not dataset:
-            raise ValueError("cannot train on an empty dataset")
-        run = TrainHistory()
-        for epoch in range(epochs):
-            start = time.perf_counter()
-            shuffled = dataset.shuffled(self.rng)
-            sums = np.zeros(4)
-            for sample in shuffled:
-                losses = self.model.train_step(sample.x[None], sample.y[None])
-                sums += (losses.g_total, losses.g_gan, losses.g_l1,
-                         losses.d_total)
-            averages = sums / len(shuffled)
-            run.g_total.append(float(averages[0]))
-            run.g_gan.append(float(averages[1]))
-            run.g_l1.append(float(averages[2]))
-            run.d_total.append(float(averages[3]))
-            run.epoch_seconds.append(time.perf_counter() - start)
-            if log_every and (epoch + 1) % log_every == 0:
-                print(f"  epoch {epoch + 1}/{epochs}: "
-                      f"G={averages[0]:.4f} (gan {averages[1]:.4f}, "
-                      f"l1 {averages[2]:.4f}) D={averages[3]:.4f}")
+        """Train for ``epochs`` passes, shuffling each epoch.
+
+        Sample order comes from this trainer's persistent rng, so
+        consecutive ``fit`` calls continue one shuffle stream — the
+        behavior every experiment flow has always had.
+        """
+        source = ShuffledDatasetSource(dataset, self.rng)
+        run = TrainLoop(self.model).run(
+            source, epochs, log_every=log_every,
+            empty_error="cannot train on an empty dataset")
         self.history.extend(run)
         return run
 
@@ -89,31 +66,9 @@ class Pix2PixTrainer:
         reproducible independent of this trainer's rng.  Loss averages are
         per sample, weighting uneven final batches correctly.
         """
-        run = TrainHistory()
-        for epoch in range(epochs):
-            start = time.perf_counter()
-            sums = np.zeros(4)
-            count = 0
-            for x_batch, y_batch in loader.epoch(epoch):
-                losses = self.model.train_step(x_batch, y_batch)
-                weight = x_batch.shape[0]
-                sums += weight * np.array(
-                    (losses.g_total, losses.g_gan, losses.g_l1,
-                     losses.d_total))
-                count += weight
-            if count == 0:
-                raise ValueError("loader yielded no samples")
-            averages = sums / count
-            run.g_total.append(float(averages[0]))
-            run.g_gan.append(float(averages[1]))
-            run.g_l1.append(float(averages[2]))
-            run.d_total.append(float(averages[3]))
-            run.epoch_seconds.append(time.perf_counter() - start)
-            if log_every and (epoch + 1) % log_every == 0:
-                print(f"  epoch {epoch + 1}/{epochs}: "
-                      f"G={averages[0]:.4f} (gan {averages[1]:.4f}, "
-                      f"l1 {averages[2]:.4f}) D={averages[3]:.4f} "
-                      f"[{count} samples]")
+        run = TrainLoop(self.model).run(
+            LoaderSource(loader), epochs, log_every=log_every,
+            log_samples=True)
         self.history.extend(run)
         return run
 

@@ -327,6 +327,26 @@ class Module:
             elif isinstance(value, np.ndarray) and name.startswith("running_"):
                 yield key, value
 
+    def named_rngs(self, prefix: str = ""
+                   ) -> Iterator[tuple[str, np.random.Generator]]:
+        """Every random generator reachable in the tree, by attribute path.
+
+        These are the noise streams a training step consumes (dropout
+        masks); exact-resume checkpoints capture and restore their
+        bit-generator states through :mod:`repro.nn.serialize`.  Layers
+        sharing one ``Generator`` instance yield it once per path.
+        """
+        for name, value in vars(self).items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Module):
+                yield from value.named_rngs(prefix=f"{key}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_rngs(prefix=f"{key}.{index}.")
+            elif isinstance(value, np.random.Generator):
+                yield key, value
+
     # -- computation ---------------------------------------------------------
 
     def forward(self, x: np.ndarray) -> np.ndarray:

@@ -27,6 +27,21 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- persistent state (see repro.nn.serialize) ---------------------------
+
+    def state_arrays(self) -> dict:
+        """The optimizer's persistent state, by name.
+
+        Values are either live arrays / lists of live per-parameter arrays
+        (written in place on restore) or scalars (restored through
+        :meth:`set_state_scalar`).  Stateless optimizers return ``{}``.
+        """
+        return {}
+
+    def set_state_scalar(self, name: str, value) -> None:
+        """Restore one scalar entry from :meth:`state_arrays`."""
+        raise KeyError(f"optimizer has no scalar state {name!r}")
+
 
 class SGD(Optimizer):
     """Plain stochastic gradient descent with optional momentum."""
@@ -45,6 +60,9 @@ class SGD(Optimizer):
                 param.data += vel
             else:
                 param.data -= self.lr * param.grad
+
+    def state_arrays(self) -> dict:
+        return {"velocity": self._velocity}
 
 
 class Adam(Optimizer):
@@ -108,6 +126,25 @@ class Adam(Optimizer):
         for param, m, v in zip(self.params, self._m, self._v):
             self._update(param.data, param.grad, m, v,
                          np.empty_like(param.data), np.empty_like(param.data))
+
+    def state_arrays(self) -> dict:
+        """Step count plus moment buffers (flat or per-parameter).
+
+        In flat mode the moment arrays are already concatenated in
+        parameter order, so both modes serialize to the same bytes for
+        the same trajectory.
+        """
+        if self._flat is not None:
+            moments: dict = {"exp_avg": self._flat[2],
+                             "exp_avg_sq": self._flat[3]}
+        else:
+            moments = {"exp_avg": self._m, "exp_avg_sq": self._v}
+        return {"step": self._step, **moments}
+
+    def set_state_scalar(self, name: str, value) -> None:
+        if name != "step":
+            super().set_state_scalar(name, value)
+        self._step = int(value)
 
     def _update(self, data, grad, m, v, s1, s2) -> None:
         """One Adam update.

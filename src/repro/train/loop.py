@@ -1,0 +1,246 @@
+"""The training epoch/step engine and its batch sources.
+
+:class:`TrainLoop` owns what used to be the body of
+``Pix2PixTrainer.fit`` / ``fit_stream``: iterate epochs, pull batches
+from a :class:`BatchSource`, call the model's ``train_step``, and fold
+sample-weighted loss averages into a :class:`TrainHistory`.  The trainer
+now delegates here, and :class:`repro.train.runner.Runner` drives the
+same loop with persistence hooks attached — one epoch engine, every
+consumer bitwise-identical to the old in-place loops.
+
+Batch sources abstract *where samples come from and in what order*:
+
+* :class:`ShuffledDatasetSource` — the classic ``fit`` order: one
+  persistent rng reshuffles an in-memory dataset every epoch, batch
+  size 1.  Its position is capturable (rng state at epoch start +
+  batches consumed), which is what exact resume serializes.
+* :class:`LoaderSource` — wraps a :class:`repro.data.loader`
+  shard-aware loader; the epoch plan is a pure function of
+  ``(seed, epoch)``, so the cursor alone is the state.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:   # import at runtime would cycle through repro.gan
+    from repro.gan.dataset import Dataset
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch average losses (the curves of Figure 8)."""
+
+    g_total: list[float] = field(default_factory=list)
+    g_gan: list[float] = field(default_factory=list)
+    g_l1: list[float] = field(default_factory=list)
+    d_total: list[float] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.g_total)
+
+    def extend(self, other: "TrainHistory") -> None:
+        self.g_total.extend(other.g_total)
+        self.g_gan.extend(other.g_gan)
+        self.g_l1.extend(other.g_l1)
+        self.d_total.extend(other.d_total)
+        self.epoch_seconds.extend(other.epoch_seconds)
+
+
+class StopTraining(Exception):
+    """Raised by a step hook to halt the loop after a clean checkpoint."""
+
+
+class BatchSource:
+    """Epochs of ``(x, y)`` batches with a capturable position."""
+
+    #: Number of samples one full epoch yields.
+    num_samples: int
+
+    def epoch_batches(self, epoch: int, skip_batches: int = 0
+                      ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        raise NotImplementedError
+
+    def order_state(self) -> dict | None:
+        """JSON-able sample-order state as of the current epoch's start.
+
+        ``None`` means the order is a pure function of the epoch index
+        (nothing beyond the cursor needs to be captured).
+        """
+        return None
+
+    def restore_order_state(self, state: dict | None) -> None:
+        if state is not None:
+            raise ValueError(
+                f"{type(self).__name__} carries no order state, got {state}")
+
+    def clear_epoch_snapshot(self) -> None:
+        """Mark the epoch boundary (stateful sources drop their snapshot)."""
+
+
+class ShuffledDatasetSource(BatchSource):
+    """The legacy ``fit`` order: persistent-rng reshuffle, batch size 1.
+
+    The rng is shared across phases (and across repeated ``fit`` calls on
+    one trainer), so sample orders depend on how many epochs ran before —
+    exactly the behavior the historical trainer had.  For resume, the rng
+    state is snapshotted *before* each epoch's permutation draw; restoring
+    it and replaying the epoch reproduces the same permutation.
+    """
+
+    def __init__(self, dataset: Dataset, rng: np.random.Generator):
+        if not dataset:
+            raise ValueError("cannot train on an empty dataset")
+        self.dataset = dataset
+        self.rng = rng
+        self._epoch_start_state: dict | None = None
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.dataset)
+
+    def epoch_batches(self, epoch: int, skip_batches: int = 0
+                      ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        # Snapshot before the permutation draw: restoring this state and
+        # re-entering the same epoch redraws the identical permutation.
+        self._epoch_start_state = self.rng.bit_generator.state
+        shuffled = self.dataset.shuffled(self.rng)
+        for sample in shuffled.samples[skip_batches:]:
+            yield sample.x[None], sample.y[None]
+
+    def order_state(self) -> dict | None:
+        """Mid-epoch: the epoch-start snapshot; at a boundary (after
+        :meth:`clear_epoch_snapshot`): the live rng state, which is what
+        the next epoch's draw starts from either way."""
+        state = (self._epoch_start_state if self._epoch_start_state
+                 is not None else self.rng.bit_generator.state)
+        # bit_generator states hold plain ints; round-trip through JSON
+        # here so a checkpoint never carries un-serializable leaves.
+        return json.loads(json.dumps(state))
+
+    def restore_order_state(self, state: dict | None) -> None:
+        if state is None:
+            raise ValueError("ShuffledDatasetSource needs an rng order "
+                             "state to resume; the checkpoint has none")
+        self.rng.bit_generator.state = state
+        self._epoch_start_state = None
+
+    def clear_epoch_snapshot(self) -> None:
+        self._epoch_start_state = None
+
+
+class LoaderSource(BatchSource):
+    """A :mod:`repro.data.loader` epoch stream as a batch source.
+
+    The loader's epoch plan is a pure function of ``(seed, epoch)``;
+    resuming needs only the ``(epoch, batch)`` cursor, which the loop
+    tracks — there is no order state to capture.
+    """
+
+    def __init__(self, loader):
+        self.loader = loader
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.loader)
+
+    def epoch_batches(self, epoch: int, skip_batches: int = 0
+                      ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if skip_batches:
+            return self.loader.epoch(epoch, skip_batches=skip_batches)
+        # Zero-skip stays on the historical call signature so foreign
+        # loaders (anything with ``epoch(index)``) keep working.
+        return self.loader.epoch(epoch)
+
+
+@dataclass
+class EpochStats:
+    """One epoch's folded losses (sample-weighted sums and count)."""
+
+    sums: np.ndarray                  # (4,) float64: g_total, g_gan, g_l1, d
+    count: int
+
+    @classmethod
+    def fresh(cls) -> "EpochStats":
+        return cls(sums=np.zeros(4), count=0)
+
+    def fold(self, losses, weight: int) -> None:
+        self.sums += weight * np.asarray(
+            (losses.g_total, losses.g_gan, losses.g_l1, losses.d_total))
+        self.count += weight
+
+    def averages(self) -> np.ndarray:
+        return self.sums / self.count
+
+
+class TrainLoop:
+    """Run epochs of adversarial steps over a batch source.
+
+    ``on_step(epoch, step, losses, weight, stats)`` fires after every
+    optimizer step with the epoch's running :class:`EpochStats`;
+    ``on_epoch(epoch, averages, count, seconds)`` after every epoch
+    fold.  Either may raise :class:`StopTraining` to halt cleanly; the
+    partially-run epoch's history entry is then *not* emitted (resume
+    re-folds it from checkpointed sums).
+    """
+
+    def __init__(self, model,
+                 on_step: Callable | None = None,
+                 on_epoch: Callable | None = None):
+        self.model = model
+        self.on_step = on_step
+        self.on_epoch = on_epoch
+
+    def run(self, source: BatchSource, epochs: int, *,
+            start_epoch: int = 0, start_step: int = 0,
+            start_stats: EpochStats | None = None,
+            log_every: int | None = None,
+            log_samples: bool = False,
+            empty_error: str = "loader yielded no samples") -> TrainHistory:
+        """Train for ``epochs`` epochs; returns per-epoch history.
+
+        ``start_epoch``/``start_step`` resume mid-run: the first epoch
+        executed is ``start_epoch``, skipping its first ``start_step``
+        batches, with loss accumulation continuing from ``start_stats``
+        (the checkpointed partial-epoch sums) so the epoch average is
+        bitwise what an uninterrupted run computes.
+        """
+        history = TrainHistory()
+        for epoch in range(start_epoch, epochs):
+            start = time.perf_counter()
+            resuming = epoch == start_epoch and start_step > 0
+            stats = (start_stats if resuming and start_stats is not None
+                     else EpochStats.fresh())
+            step = start_step if resuming else 0
+            for x_batch, y_batch in source.epoch_batches(
+                    epoch, skip_batches=step):
+                losses = self.model.train_step(x_batch, y_batch)
+                weight = x_batch.shape[0]
+                stats.fold(losses, weight)
+                step += 1
+                if self.on_step is not None:
+                    self.on_step(epoch, step, losses, weight, stats)
+            if stats.count == 0:
+                raise ValueError(empty_error)
+            averages = stats.averages()
+            history.g_total.append(float(averages[0]))
+            history.g_gan.append(float(averages[1]))
+            history.g_l1.append(float(averages[2]))
+            history.d_total.append(float(averages[3]))
+            history.epoch_seconds.append(time.perf_counter() - start)
+            if self.on_epoch is not None:
+                self.on_epoch(epoch, averages, stats.count,
+                              history.epoch_seconds[-1])
+            if log_every and (epoch + 1) % log_every == 0:
+                suffix = f" [{stats.count} samples]" if log_samples else ""
+                print(f"  epoch {epoch + 1}/{epochs}: "
+                      f"G={averages[0]:.4f} (gan {averages[1]:.4f}, "
+                      f"l1 {averages[2]:.4f}) D={averages[3]:.4f}{suffix}")
+        return history

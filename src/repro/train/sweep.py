@@ -1,0 +1,162 @@
+"""Sweep driver: fan N train specs across worker processes.
+
+A sweep is a list of :class:`~repro.train.spec.TrainSpec` documents run
+under one root directory, one run directory each.  Seeds are
+deterministic: a spec that does not pin ``seed`` explicitly gets one
+derived from ``(base_seed, run index)`` through ``SeedSequence``, so the
+same sweep file always produces the same per-run seeds — and therefore
+the same runs — regardless of worker count or completion order.
+
+The sweep file is JSON: either a plain list of spec documents, or
+``{"base": {...}, "runs": [{...}, ...]}`` where each run entry overlays
+the base document (handy for grids that vary one or two knobs).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from pathlib import Path
+
+import numpy as np
+
+from repro.train.runner import Runner
+from repro.train.spec import TrainSpec
+
+SUMMARY_NAME = "sweep.json"
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """The deterministic seed for run ``index`` of a sweep."""
+    return int(np.random.SeedSequence((base_seed, index))
+               .generate_state(1)[0])
+
+
+def load_sweep_file(path: str | Path) -> list[dict]:
+    """Spec documents from a sweep file (list, or base + runs overlays)."""
+    document = json.loads(Path(path).read_text())
+    if isinstance(document, list):
+        entries = document
+    elif isinstance(document, dict) and "runs" in document:
+        base = document.get("base", {})
+        entries = [{**base, **run} for run in document["runs"]]
+    else:
+        raise ValueError(
+            f"{path}: expected a JSON list of specs or an object with "
+            f"'runs' (and optional 'base')")
+    if not entries:
+        raise ValueError(f"{path}: sweep has no runs")
+    return entries
+
+
+def prepare_specs(entries: list[dict], base_seed: int = 0
+                  ) -> list[TrainSpec]:
+    """Validate spec documents and assign deterministic seeds.
+
+    Entries that carry an explicit ``seed`` keep it; the rest get
+    :func:`derive_seed`.  Duplicate run names are an error — every run
+    needs its own directory.
+    """
+    specs = []
+    for index, entry in enumerate(entries):
+        entry = dict(entry)
+        if "seed" not in entry:
+            entry["seed"] = derive_seed(base_seed, index)
+        specs.append(TrainSpec.from_dict(entry))
+    names = [spec.name for spec in specs]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ValueError(f"duplicate run name(s) in sweep: "
+                         f"{', '.join(duplicates)}")
+    return specs
+
+
+def _run_one(root: str, spec_dict: dict) -> dict:
+    """Worker body: execute one spec; always returns a summary row."""
+    import json as json_module
+
+    spec = TrainSpec.from_dict(spec_dict)
+    run_dir = Path(root) / spec.name
+    try:
+        if (run_dir / "spec.json").exists():
+            # Re-running a sweep must not clobber finished work with
+            # failure rows: report the existing run's recorded state
+            # and leave its directory untouched (resume it explicitly
+            # with `repro train resume` if it was interrupted).
+            status_path = run_dir / "status.json"
+            state = "unknown"
+            if status_path.exists():
+                state = json_module.loads(
+                    status_path.read_text()).get("state", "unknown")
+            return {
+                "name": spec.name,
+                "seed": spec.seed,
+                "run_dir": str(run_dir),
+                "status": "skipped",
+                "existing_state": state,
+            }
+        runner = Runner.create(spec, root)
+        result = runner.run()
+        history = result.histories.get(
+            "finetune", result.histories.get("train"))
+        return {
+            "name": spec.name,
+            "seed": spec.seed,
+            "run_dir": str(Path(root) / spec.name),
+            "status": result.status,
+            "global_step": result.global_step,
+            "final_g_total": (history.g_total[-1]
+                              if history and history.g_total else None),
+            "best_value": result.best_value,
+            "best_epoch": result.best_epoch,
+        }
+    except Exception as error:   # one failed run must not sink the sweep
+        return {
+            "name": spec.name,
+            "seed": spec.seed,
+            "run_dir": str(run_dir),
+            "status": "failed",
+            "error": f"{type(error).__name__}: {error}",
+        }
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_sweep(specs: list[TrainSpec], root: str | Path,
+              workers: int = 0, log=None) -> list[dict]:
+    """Execute every spec under ``root``; returns per-run summary rows.
+
+    ``workers <= 1`` runs serially in-process.  Runs are independent
+    (each owns its directory and derives nothing from the others), so
+    the artifacts are identical for any worker count; only the summary
+    order is normalized (sweep-file order).  The summary is also written
+    to ``<root>/sweep.json``.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    spec_dicts = [spec.to_dict() for spec in specs]
+    if workers and workers > 1:
+        with _pool_context().Pool(processes=workers) as pool:
+            rows = pool.starmap(
+                _run_one, [(str(root), document)
+                           for document in spec_dicts])
+    else:
+        rows = [_run_one(str(root), document) for document in spec_dicts]
+    if log is not None:
+        for row in rows:   # one line per run, in sweep-file order
+            if row["status"] == "failed":
+                suffix = f"error: {row['error']}"
+            elif row["status"] == "skipped":
+                suffix = (f"already exists "
+                          f"({row['existing_state']}); resume or remove")
+            else:
+                suffix = f"step {row['global_step']}"
+            log(f"  {row['name']:<24} {row['status']:<12} {suffix}")
+    summary_path = root / SUMMARY_NAME
+    summary_path.write_text(
+        json.dumps({"runs": rows}, indent=1, sort_keys=True) + "\n")
+    return rows

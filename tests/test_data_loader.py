@@ -151,3 +151,46 @@ class TestLossParity:
         for position, index in enumerate(order):
             np.testing.assert_array_equal(xs[position],
                                           dataset[int(index)].x)
+
+
+class TestSkipCursor:
+    """Mid-epoch resume: epoch(e, skip_batches=k) is the epoch's tail."""
+
+    @pytest.mark.parametrize("batch_size", [1, 2])
+    def test_skip_yields_the_exact_tail(self, dataset, batch_size):
+        loader = MemoryLoader(dataset, shard_size=SHARD, seed=5,
+                              augment=True, batch_size=batch_size)
+        full = list(loader.epoch(0))
+        for skip in range(len(full) + 1):
+            tail = list(loader.epoch(0, skip_batches=skip))
+            assert len(tail) == len(full) - skip
+            for (x_full, y_full), (x_tail, y_tail) in zip(full[skip:],
+                                                          tail):
+                np.testing.assert_array_equal(x_tail, x_full)
+                np.testing.assert_array_equal(y_tail, y_full)
+
+    def test_streaming_skip_spares_shard_reads(self, store):
+        loader = StreamingLoader(store, seed=5, augment=True)
+        full = list(loader.epoch(0))
+        before = loader.shard_loads
+        tail = list(loader.epoch(0, skip_batches=4))   # 2 whole shards
+        assert loader.shard_loads - before < store.num_shards
+        for (x_full, _), (x_tail, _) in zip(full[4:], tail):
+            np.testing.assert_array_equal(x_tail, x_full)
+
+    def test_negative_skip_rejected(self, dataset):
+        loader = MemoryLoader(dataset, seed=0)
+        with pytest.raises(ValueError, match="skip_batches"):
+            list(loader.epoch(0, skip_batches=-1))
+
+    def test_epoch_plan_ignores_global_numpy_state(self, dataset):
+        """The shuffle/augment path draws only from the (seed, epoch)
+        rng — reseeding the module-level generator must not matter."""
+        loader = MemoryLoader(dataset, shard_size=SHARD, seed=3,
+                              augment=True)
+        np.random.seed(123)
+        first = [x.copy() for x, _ in loader.epoch(0)]
+        np.random.seed(456)
+        second = [x.copy() for x, _ in loader.epoch(0)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)

@@ -86,6 +86,16 @@ class TestExamples:
         assert (out_dir / "eval" / "report_all.json").exists()
         assert (out_dir / "eval" / "report_holdout.json").exists()
 
+    def test_train_run(self, tmp_path, out_dir):
+        result = run_example("train_run.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "exact resume verified" in result.stdout
+        assert "interrupted" in result.stdout
+        run_dir = out_dir / "train" / "runs" / "killed"
+        assert (run_dir / "spec.json").exists()
+        assert (run_dir / "losses.jsonl").exists()
+        assert (run_dir / "export" / "killed.npz").exists()
+
     def test_packing_flow(self, tmp_path, out_dir):
         result = run_example("packing_flow.py", tmp_path)
         assert result.returncode == 0, result.stderr

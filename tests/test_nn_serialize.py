@@ -3,12 +3,22 @@
 import numpy as np
 import pytest
 
-from repro.nn import Conv2d, Sequential, BatchNorm2d
+from repro.nn import Adam, Conv2d, Sequential, BatchNorm2d
 from repro.nn.serialize import (
+    CheckpointError,
+    HEADER_KEY,
+    MODULE_STATE_FORMAT,
+    load_optimizer_state_dict,
     load_state_dict,
+    make_header,
+    optimizer_state_dict,
+    read_npz,
+    rng_state_from_json,
+    rng_state_to_json,
     save_state_dict,
     state_dict_mismatch,
     validate_state_dict,
+    write_npz,
 )
 
 
@@ -86,6 +96,122 @@ class TestMismatchDiagnostics:
         np.savez(path, **{"totally.wrong": np.zeros(2)})
         with pytest.raises(ValueError, match="totally.wrong"):
             load_state_dict(small_module(), path)
+
+
+class TestVersionedHeader:
+    def test_archives_carry_the_header(self, tmp_path):
+        module = small_module()
+        path = tmp_path / "module.npz"
+        save_state_dict(module, path)
+        with np.load(path) as archive:
+            assert HEADER_KEY in archive.files
+
+    def test_legacy_headerless_archive_still_loads(self, tmp_path):
+        module = small_module(seed=1)
+        path = tmp_path / "legacy.npz"
+        np.savez(path, **module.state_dict())   # pre-header format
+        load_state_dict(small_module(seed=2), path)
+
+    def test_wrong_format_named_in_error(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        write_npz(path, {"x": np.zeros(2)},
+                  make_header("someone.elses-schema", 1))
+        with pytest.raises(CheckpointError, match="someone.elses-schema"):
+            read_npz(path, MODULE_STATE_FORMAT, 1)
+
+    def test_future_version_rejected_with_guidance(self, tmp_path):
+        path = tmp_path / "future.npz"
+        write_npz(path, {"x": np.zeros(2)},
+                  make_header(MODULE_STATE_FORMAT, 99))
+        with pytest.raises(CheckpointError, match="version"):
+            load_state_dict(small_module(), path)
+
+    def test_atomic_write_leaves_no_staging_file(self, tmp_path):
+        write_npz(tmp_path / "out.npz", {"x": np.ones(3)},
+                  make_header(MODULE_STATE_FORMAT, 1))
+        assert [p.name for p in tmp_path.iterdir()] == ["out.npz"]
+
+
+class TestOptimizerStateRoundTrip:
+    def _trained_adam(self, seed: int):
+        module = small_module(seed=seed)
+        optimizer = Adam(module.parameters(), lr=1e-3)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 2, 8, 8)).astype(np.float32)
+        for _ in range(3):
+            optimizer.zero_grad()
+            out = module.forward(x)
+            module.backward(np.ones_like(out))
+            optimizer.step()
+        return module, optimizer, x
+
+    def test_adam_moments_and_step_round_trip_bitwise(self):
+        module_a, opt_a, x = self._trained_adam(seed=1)
+        state = optimizer_state_dict(opt_a)
+        assert set(state) == {"step", "exp_avg", "exp_avg_sq"}
+
+        module_b = small_module(seed=1)
+        module_b.load_state_dict(module_a.state_dict())
+        opt_b = Adam(module_b.parameters(), lr=1e-3)
+        load_optimizer_state_dict(opt_b, state)
+        assert opt_b._step == opt_a._step
+
+        for optimizer, module in ((opt_a, module_a), (opt_b, module_b)):
+            optimizer.zero_grad()
+            out = module.forward(x)
+            module.backward(np.ones_like(out))
+            optimizer.step()
+        for (name, pa), (_, pb) in zip(module_a.named_parameters(),
+                                       module_b.named_parameters()):
+            np.testing.assert_array_equal(pb.data, pa.data, err_msg=name)
+
+    def test_bn_running_stats_round_trip(self, tmp_path):
+        module, _, _ = self._trained_adam(seed=1)
+        bn = module.layers[1]
+        assert not np.allclose(bn.running_mean, 0.0)   # stats moved
+        path = tmp_path / "m.npz"
+        save_state_dict(module, path)
+        restored = small_module(seed=2)
+        load_state_dict(restored, path)
+        np.testing.assert_array_equal(restored.layers[1].running_mean,
+                                      bn.running_mean)
+        np.testing.assert_array_equal(restored.layers[1].running_var,
+                                      bn.running_var)
+
+    def test_size_mismatch_is_a_clear_error(self):
+        _, optimizer, _ = self._trained_adam(seed=1)
+        state = optimizer_state_dict(optimizer)
+        state["exp_avg"] = state["exp_avg"][:-1]
+        other = small_module(seed=1)
+        fresh = Adam(other.parameters(), lr=1e-3)
+        with pytest.raises(CheckpointError, match="exp_avg"):
+            load_optimizer_state_dict(fresh, state)
+
+    def test_missing_entry_is_a_clear_error(self):
+        _, optimizer, _ = self._trained_adam(seed=1)
+        state = optimizer_state_dict(optimizer)
+        del state["exp_avg_sq"]
+        other = small_module(seed=1)
+        with pytest.raises(CheckpointError, match="exp_avg_sq"):
+            load_optimizer_state_dict(Adam(other.parameters(), lr=1e-3),
+                                      state)
+
+
+class TestRngStateRoundTrip:
+    def test_stream_resumes_mid_sequence(self):
+        rng = np.random.default_rng(42)
+        rng.random(10)
+        captured = rng_state_to_json(rng)
+        expected = rng.random(5)
+        restored = np.random.default_rng(0)
+        rng_state_from_json(restored, captured)
+        np.testing.assert_array_equal(restored.random(5), expected)
+
+    def test_bit_generator_mismatch_rejected(self):
+        state = rng_state_to_json(np.random.default_rng(0))
+        other = np.random.Generator(np.random.PCG64DXSM(0))
+        with pytest.raises(CheckpointError, match="PCG64"):
+            rng_state_from_json(other, state)
 
 
 class TestPix2PixCheckpointValidation:

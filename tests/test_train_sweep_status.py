@@ -1,0 +1,170 @@
+"""Sweep driver and numpy-free status tests."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.gan import Dataset
+from repro.train import (
+    Runner,
+    TrainSpec,
+    format_run_status,
+    load_sweep_file,
+    prepare_specs,
+    read_run_status,
+    run_sweep,
+)
+from repro.train.sweep import derive_seed
+from tests.conftest import make_dataset
+
+SIZE = 16
+
+
+def sweep_entries(count: int = 2, **extra) -> list[dict]:
+    return [{"name": f"run-{index}", "data": "archive:UNSET",
+             "scale": "smoke", "epochs": 1, "order": "stream",
+             "model": {"base_filters": 4, "disc_filters": 4}, **extra}
+            for index in range(count)]
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    path = tmp_path_factory.mktemp("sweep-data") / "data.npz"
+    Dataset(list(make_dataset(4, size=SIZE))).save(path)
+    return path
+
+
+class TestSeeds:
+    def test_derived_seeds_are_deterministic_and_distinct(self):
+        seeds = [derive_seed(0, index) for index in range(8)]
+        assert seeds == [derive_seed(0, index) for index in range(8)]
+        assert len(set(seeds)) == 8
+
+    def test_prepare_specs_assigns_and_respects_seeds(self, archive):
+        entries = sweep_entries(3)
+        entries[1]["seed"] = 777
+        specs = prepare_specs(entries, base_seed=5)
+        assert specs[0].seed == derive_seed(5, 0)
+        assert specs[1].seed == 777
+        assert specs[2].seed == derive_seed(5, 2)
+
+    def test_duplicate_names_rejected(self):
+        entries = sweep_entries(2)
+        entries[1]["name"] = entries[0]["name"]
+        with pytest.raises(ValueError, match="duplicate"):
+            prepare_specs(entries)
+
+
+class TestSweepFile:
+    def test_plain_list(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(sweep_entries(2)))
+        assert len(load_sweep_file(path)) == 2
+
+    def test_base_plus_runs_overlay(self, tmp_path):
+        document = {"base": {"scale": "smoke", "epochs": 1},
+                    "runs": [{"name": "a"}, {"name": "b", "epochs": 2}]}
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(document))
+        entries = load_sweep_file(path)
+        assert entries[0] == {"scale": "smoke", "epochs": 1, "name": "a"}
+        assert entries[1]["epochs"] == 2
+
+    def test_empty_sweep_rejected(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError, match="no runs"):
+            load_sweep_file(path)
+
+
+class TestRunSweep:
+    def _entries(self, archive, count=2):
+        return [dict(entry, data=f"archive:{archive}")
+                for entry in sweep_entries(count)]
+
+    def test_serial_and_parallel_artifacts_match(self, archive, tmp_path):
+        specs = prepare_specs(self._entries(archive), base_seed=1)
+        rows_serial = run_sweep(specs, tmp_path / "serial", workers=0)
+        rows_parallel = run_sweep(specs, tmp_path / "parallel", workers=2)
+        assert [row["status"] for row in rows_serial] == ["completed"] * 2
+        assert [row["status"] for row in rows_parallel] == ["completed"] * 2
+        for name in ("run-0", "run-1"):
+            serial = (tmp_path / "serial" / name
+                      / "losses.jsonl").read_bytes()
+            parallel = (tmp_path / "parallel" / name
+                        / "losses.jsonl").read_bytes()
+            assert serial == parallel, name
+
+    def test_rerun_skips_existing_runs_without_clobbering(self, archive,
+                                                          tmp_path):
+        """A second sweep invocation must not mark finished runs failed
+        or touch their directories."""
+        specs = prepare_specs(self._entries(archive), base_seed=1)
+        run_sweep(specs, tmp_path, workers=0)
+        before = (tmp_path / "run-0" / "losses.jsonl").read_bytes()
+        rows = run_sweep(specs, tmp_path, workers=0)
+        assert [row["status"] for row in rows] == ["skipped", "skipped"]
+        assert rows[0]["existing_state"] == "completed"
+        assert (tmp_path / "run-0"
+                / "losses.jsonl").read_bytes() == before
+
+    def test_summary_written_and_failures_reported(self, archive, tmp_path):
+        entries = self._entries(archive, count=2)
+        entries[1]["data"] = "archive:/nowhere/else.npz"
+        specs = prepare_specs(entries)
+        rows = run_sweep(specs, tmp_path, workers=0)
+        assert rows[0]["status"] == "completed"
+        assert rows[1]["status"] == "failed"
+        assert "error" in rows[1]
+        summary = json.loads((tmp_path / "sweep.json").read_text())
+        assert [row["name"] for row in summary["runs"]] == ["run-0", "run-1"]
+
+
+class TestStatus:
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("status")
+        dataset = make_dataset(4, size=SIZE)
+        spec = TrainSpec(name="watched", data="inline", scale="smoke",
+                         seed=1, epochs=2, order="stream",
+                         model={"base_filters": 4, "disc_filters": 4})
+        Runner.create(spec, root, dataset=dataset).run()
+        return root / "watched"
+
+    def test_read_run_status(self, run_dir):
+        info = read_run_status(run_dir)
+        assert info["name"] == "watched"
+        assert info["state"] == "completed"
+        assert info["global_step"] == 8
+        assert info["last_epoch"]["event"] == "epoch"
+        assert info["last_step"]["step"] >= 1
+
+    def test_format_is_terminal_friendly(self, run_dir):
+        rendered = format_run_status(read_run_status(run_dir))
+        assert "watched" in rendered and "completed" in rendered
+        assert "last epoch" in rendered
+
+    def test_not_a_run_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_run_status(tmp_path)
+
+    def test_cli_status_never_imports_numpy(self, run_dir):
+        """``repro train status`` must stay light: no numpy anywhere."""
+        from pathlib import Path
+
+        import repro
+
+        source_root = str(Path(repro.__file__).resolve().parents[1])
+        code = (
+            "import sys\n"
+            "from repro.cli import main\n"
+            f"main(['train', 'status', {str(run_dir)!r}])\n"
+            "assert 'numpy' not in sys.modules, 'numpy was imported'\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env={"PYTHONPATH": source_root, "PATH": "/usr/bin:/bin"})
+        assert result.returncode == 0, result.stderr
+        assert "watched" in result.stdout
