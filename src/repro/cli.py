@@ -22,6 +22,9 @@ Commands mirror the flows API:
   checkpoint or baseline against ground truth (deterministic JSON
   report), ``compare`` two reports with per-metric tolerances, and
   score all ``baselines``.
+* ``obs``      — telemetry readers: ``summary`` and ``tail`` a run's
+  ``telemetry.jsonl``, ``trace`` to aggregate a span log or export it
+  as Chrome ``trace_event`` JSON.  Numpy-free like ``train status``.
 
 All experiment commands accept ``--scale {smoke,default,paper}``.
 """
@@ -91,12 +94,17 @@ def build_parser() -> argparse.ArgumentParser:
                                 "once global_step reaches this count")
     train_run.add_argument("--log-every", type=int, default=None,
                            help="print losses every N epochs")
+    train_run.add_argument("--trace", action="store_true",
+                           help="record spans to <run dir>/trace.jsonl "
+                                "(view with `repro obs trace`)")
 
     train_resume = train_commands.add_parser(
         "resume", help="continue a run from its latest checkpoint")
     train_resume.add_argument("run_dir", type=Path)
     train_resume.add_argument("--stop-after-steps", type=int, default=None)
     train_resume.add_argument("--log-every", type=int, default=None)
+    train_resume.add_argument("--trace", action="store_true",
+                              help="record spans to <run dir>/trace.jsonl")
 
     train_sweep = train_commands.add_parser(
         "sweep", help="fan a sweep file of specs across workers")
@@ -256,6 +264,35 @@ def build_parser() -> argparse.ArgumentParser:
     baselines.add_argument("--out-dir", type=Path, default=None,
                            help="write one JSON report per baseline here")
 
+    obs = commands.add_parser(
+        "obs", help="telemetry readers: summary/tail/trace (no numpy)")
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_summary = obs_commands.add_parser(
+        "summary", help="aggregate a run's telemetry.jsonl")
+    obs_summary.add_argument("run_dir", type=Path,
+                             help="a run directory, or a telemetry.jsonl "
+                                  "path")
+    obs_summary.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON")
+
+    obs_tail = obs_commands.add_parser(
+        "tail", help="print the newest telemetry events")
+    obs_tail.add_argument("run_dir", type=Path,
+                          help="a run directory, or a telemetry.jsonl path")
+    obs_tail.add_argument("-n", "--count", type=int, default=10,
+                          help="events to show (default 10)")
+
+    obs_trace = obs_commands.add_parser(
+        "trace", help="summarize a span log, or export it for "
+                      "chrome://tracing")
+    obs_trace.add_argument("trace", type=Path,
+                           help="a trace.jsonl path, or a run directory "
+                                "holding one")
+    obs_trace.add_argument("--chrome", type=Path, default=None,
+                           help="write Chrome trace_event JSON here "
+                                "instead of printing the summary")
+
     return parser
 
 
@@ -316,7 +353,7 @@ def _train_run(args) -> int:
     from repro.train import Runner, TrainSpec
 
     spec = TrainSpec.load(args.spec)
-    runner = Runner.create(spec, args.runs, log=print)
+    runner = Runner.create(spec, args.runs, log=print, trace=args.trace)
     print(f"run directory: {runner.run_dir}")
     result = runner.run(stop_after_steps=args.stop_after_steps,
                         log_every=args.log_every)
@@ -327,7 +364,7 @@ def _train_run(args) -> int:
 def _train_resume(args) -> int:
     from repro.train import Runner
 
-    runner = Runner.resume(args.run_dir, log=print)
+    runner = Runner.resume(args.run_dir, log=print, trace=args.trace)
     result = runner.run(stop_after_steps=args.stop_after_steps,
                         log_every=args.log_every)
     _print_run_result(result)
@@ -682,6 +719,68 @@ def _run_eval(args) -> int:
     raise SystemExit(f"error: unknown eval command {args.eval_command!r}")
 
 
+def cmd_obs(args) -> int:
+    # Deliberately numpy-free, same contract as `repro train status`:
+    # only repro.obs modules load, so tailing telemetry from a shell is
+    # instant and works without the scientific stack.
+    import json as json_module
+
+    from repro.obs.render import (
+        TELEMETRY_NAME,
+        TRACE_NAME,
+        format_span_summary,
+        format_telemetry_record,
+        format_telemetry_summary,
+        read_telemetry,
+        summarize_spans,
+        summarize_telemetry,
+        tail_telemetry,
+    )
+
+    def _resolve(path: Path, default_name: str) -> Path:
+        return path / default_name if path.is_dir() else path
+
+    if args.obs_command == "summary":
+        path = _resolve(args.run_dir, TELEMETRY_NAME)
+        records = read_telemetry(path)
+        if not records:
+            raise SystemExit(f"error: no telemetry at {path}")
+        summary = summarize_telemetry(records)
+        if args.json:
+            print(json_module.dumps(summary, indent=1, sort_keys=True))
+        else:
+            print(format_telemetry_summary(summary))
+        return 0
+
+    if args.obs_command == "tail":
+        path = _resolve(args.run_dir, TELEMETRY_NAME)
+        records = tail_telemetry(path, count=args.count)
+        if not records:
+            raise SystemExit(f"error: no telemetry at {path}")
+        for record in records:
+            print(format_telemetry_record(record))
+        return 0
+
+    if args.obs_command == "trace":
+        from repro.obs.trace import read_spans, write_chrome_trace
+
+        path = _resolve(args.trace, TRACE_NAME)
+        if not path.exists():
+            raise SystemExit(f"error: no trace at {path}")
+        spans = read_spans(path)
+        if args.chrome is not None:
+            count = write_chrome_trace(spans, args.chrome)
+            print(f"wrote {count} event(s) to {args.chrome} "
+                  f"(open in chrome://tracing or https://ui.perfetto.dev)")
+            return 0
+        if not spans:
+            raise SystemExit(f"error: trace {path} is empty")
+        print(format_span_summary(summarize_spans(spans)))
+        return 0
+
+    raise SystemExit(f"error: unknown obs command {args.obs_command!r}")
+
+
 _COMMANDS = {
     "datagen": cmd_datagen,
     "train": cmd_train,
@@ -691,6 +790,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "data": cmd_data,
     "eval": cmd_eval,
+    "obs": cmd_obs,
 }
 
 

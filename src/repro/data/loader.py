@@ -22,11 +22,13 @@ epoch rng, so augmented runs are reproducible too.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator
 
 import numpy as np
 
 from repro.gan.dataset import Dataset, Sample
+from repro.obs.trace import get_tracer
 
 from repro.data.store import ShardedStore
 
@@ -217,9 +219,10 @@ class MemoryLoader(_ShardLoader):
 class StreamingLoader(_ShardLoader):
     """Stream a :class:`ShardedStore` without materializing it.
 
-    One shard is resident at a time; ``peak_resident_samples`` and
-    ``shard_loads`` record the memory/IO behavior so tests (and the bench)
-    can assert the full corpus was never held at once.
+    One shard is resident at a time; ``peak_resident_samples``,
+    ``shard_loads``, and ``shard_load_seconds`` record the memory/IO
+    behavior so tests (and the bench) can assert the full corpus was
+    never held at once — and so telemetry can say where epoch time went.
     """
 
     def __init__(self, store: ShardedStore, **kwargs):
@@ -227,6 +230,7 @@ class StreamingLoader(_ShardLoader):
         self.store = store
         self.peak_resident_samples = 0
         self.shard_loads = 0
+        self.shard_load_seconds = 0.0
 
     def _num_shards(self) -> int:
         return self.store.num_shards
@@ -235,7 +239,10 @@ class StreamingLoader(_ShardLoader):
         return int(self.store.manifest["shards"][index]["num_samples"])
 
     def _load_shard(self, index: int) -> list[Sample]:
-        samples = self.store.load_shard(index).samples
+        started = time.perf_counter()
+        with get_tracer().span("data.shard_load", shard=index):
+            samples = self.store.load_shard(index).samples
+        self.shard_load_seconds += time.perf_counter() - started
         self.shard_loads += 1
         self.peak_resident_samples = max(self.peak_resident_samples,
                                          len(samples))

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro import __version__
 from repro.gan.dataset import Dataset, Sample
+from repro.obs.trace import get_tracer
 
 MANIFEST_NAME = "manifest.json"
 FORMAT_VERSION = 1
@@ -259,7 +260,12 @@ class ShardedStore:
 
     def load_shard(self, index: int) -> Dataset:
         shard = self.manifest["shards"][index]
-        return Dataset.load(self.root / shard["name"])
+        # Decode span is separate from the loader's "data.shard_load":
+        # this is the npz read+decompress alone, the loader span adds
+        # whatever sits above it (manifest math, Sample assembly).
+        with get_tracer().span("data.shard_decode", shard=index,
+                               shard_name=shard["name"]):
+            return Dataset.load(self.root / shard["name"])
 
     def iter_samples(self) -> Iterator[Sample]:
         """Stream every sample, holding one shard in memory at a time."""

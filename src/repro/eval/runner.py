@@ -25,12 +25,14 @@ byte for byte, serial or parallel.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from repro.data.loader import shard_eval_arrays
+from repro.obs.trace import get_tracer
 from repro.data.store import ShardedStore
 from repro.eval.metrics import (
     DEFAULT_ROC_THRESHOLD,
@@ -197,6 +199,10 @@ class EvalResult:
 
     per_sample: dict[str, np.ndarray] = field(default_factory=dict)
     designs: list[str] = field(default_factory=list)
+    #: Wall seconds per evaluated shard, in shard order.  Observational
+    #: only — deliberately excluded from :func:`evaluation_report`, whose
+    #: bytes must not depend on machine speed.
+    shard_seconds: list[float] = field(default_factory=list)
 
     @property
     def num_samples(self) -> int:
@@ -254,10 +260,12 @@ def _init_eval_worker(store_root: str, checkpoint: str,
 
 def _eval_shard_task(shard_index: int):
     assert _EVAL_WORKER, "pool initializer did not run"
-    return shard_index, _eval_shard(
+    started = time.perf_counter()
+    part = _eval_shard(
         _EVAL_WORKER["store"], shard_index, _EVAL_WORKER["forecaster"],
         _EVAL_WORKER["metrics"], _EVAL_WORKER["designs"],
         _EVAL_WORKER["batch_size"])
+    return shard_index, part, time.perf_counter() - started
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -300,16 +308,25 @@ def evaluate_store(store: ShardedStore, forecaster, *,
                 initargs=(str(store.root), checkpoint, tuple(thresholds),
                           roc_threshold, designs, batch_size)) as pool:
             shard_parts = {}
-            for index, part in pool.imap_unordered(
+            for index, part, seconds in pool.imap_unordered(
                     _eval_shard_task, range(store.num_shards)):
-                shard_parts[index] = part
-        ordered = [shard_parts[i] for i in range(store.num_shards)]
+                shard_parts[index] = (part, seconds)
+        ordered = [shard_parts[i][0] for i in range(store.num_shards)]
+        shard_seconds = [shard_parts[i][1]
+                         for i in range(store.num_shards)]
     else:
-        ordered = [_eval_shard(store, index, forecaster, metrics, designs,
-                               batch_size)
-                   for index in range(store.num_shards)]
+        tracer = get_tracer()
+        ordered = []
+        shard_seconds = []
+        for index in range(store.num_shards):
+            started = time.perf_counter()
+            with tracer.span("eval.shard", shard=index):
+                ordered.append(_eval_shard(store, index, forecaster,
+                                           metrics, designs, batch_size))
+            shard_seconds.append(time.perf_counter() - started)
 
     result = EvalResult()
+    result.shard_seconds = shard_seconds
     for shard_designs, _ in ordered:
         result.designs.extend(shard_designs)
     result.per_sample = {

@@ -87,6 +87,22 @@ class Module:
                     if isinstance(item, Module):
                         yield item
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """(path, module) pairs for this module and every descendant.
+
+        Paths mirror :meth:`named_parameters` (attribute names, list
+        indices) so a layer's parameters and its profile stats line up.
+        """
+        yield prefix.rstrip("."), self
+        for name, value in vars(self).items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Module):
+                yield from value.named_modules(prefix=f"{key}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_modules(prefix=f"{key}.{index}.")
+
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
         for name, value in vars(self).items():
             key = f"{prefix}{name}"
@@ -418,6 +434,12 @@ class Conv2d(Module):
     scatter in backward.
     """
 
+    #: Stacked-matmul calls per pass, consumed by ``repro.obs.profile``.
+    #: ``backward`` runs weight-grad + input-grad gemms; the latter is
+    #: skipped (count 1) when called with ``need_input_grad=False``.
+    GEMM_COUNTS = {"forward": 1, "backward": 2, "forward_eval": 1,
+                   "forward_eval_folded": 1}
+
     def __init__(self, in_channels: int, out_channels: int, kernel: int = 4,
                  stride: int = 2, pad: int = 1, bias: bool = True,
                  rng: np.random.Generator | None = None):
@@ -579,6 +601,10 @@ class ConvTranspose2d(Module):
     per-sample ``(c, h*w)`` views with no flatten copy, and producing the
     layout :func:`col2im_bt` scatters fastest.
     """
+
+    #: See :attr:`Conv2d.GEMM_COUNTS` — same pass-to-gemm accounting.
+    GEMM_COUNTS = {"forward": 1, "backward": 2, "forward_eval": 1,
+                   "forward_eval_folded": 1}
 
     def __init__(self, in_channels: int, out_channels: int, kernel: int = 4,
                  stride: int = 2, pad: int = 1, bias: bool = True,

@@ -72,6 +72,10 @@ class Workspace:
         #: growth never leaves them pinning (and returning) orphaned
         #: backings.
         self.epoch = 0
+        # Incremental byte accounting: kept in sync on every realloc so
+        # observability reads are O(1), not a slot-table walk.
+        self._live_bytes = 0
+        self._peak_bytes = 0
 
     def buffer(self, owner: object, name: str, shape: tuple[int, ...],
                dtype=np.float32) -> np.ndarray:
@@ -95,10 +99,15 @@ class Workspace:
         size = prod(shape)
         flat = slot.flat
         if flat is None or flat.dtype != dt or flat.size < size:
+            if flat is not None:
+                self._live_bytes -= flat.nbytes
             flat = np.empty(max(size, 1), dtype=dt)
             slot.flat = flat
             slot.views = {}
             self.epoch += 1
+            self._live_bytes += flat.nbytes
+            if self._live_bytes > self._peak_bytes:
+                self._peak_bytes = self._live_bytes
         view = flat[:size].reshape(shape)
         slot.views[shape] = view
         return view
@@ -119,7 +128,17 @@ class Workspace:
         return sum(slot.flat.nbytes for slot in list(self._slots.values())
                    if slot.flat is not None)
 
+    @property
+    def peak_nbytes(self) -> int:
+        """High-water arena bytes across the workspace's whole lifetime.
+
+        Tracked incrementally on realloc (O(1) to read) and *not* reset
+        by :meth:`clear` — the point is the worst case a run ever needed.
+        """
+        return self._peak_bytes
+
     def clear(self) -> None:
         """Drop every backing buffer (e.g. before pickling a model)."""
         self._slots.clear()
         self.epoch += 1
+        self._live_bytes = 0

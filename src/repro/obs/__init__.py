@@ -1,0 +1,72 @@
+"""repro.obs — unified telemetry: metrics, span tracing, profiling.
+
+Three pillars, all stdlib-only (importing this package never pulls in
+numpy, so status/obs CLI paths stay usable on bare hosts):
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bucket histograms, rendered as a deterministic JSON
+  snapshot or Prometheus text.  The serving engine keeps one and serves
+  it at ``GET /metrics``.
+* :mod:`repro.obs.trace` — :class:`Tracer` span context managers on
+  monotonic clocks, emitting JSONL convertible to Chrome
+  ``trace_event`` JSON (:func:`write_chrome_trace`).  Disabled tracers
+  hand out one shared no-op span: zero allocation, zero branches in
+  callee code.
+* :mod:`repro.obs.profile` — :class:`Profiler` per-layer wall time and
+  gemm counts for ``repro.nn`` models via detachable method shims;
+  when detached the model runs its original, unwrapped methods.
+
+The guarantee carried by the whole package: instrumentation observes,
+it never perturbs — instrumented and uninstrumented runs produce
+byte-identical artifacts (checked by ``tests/test_obs_integration.py``).
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import Profiler
+from repro.obs.render import (
+    TELEMETRY_NAME,
+    TRACE_NAME,
+    format_span_summary,
+    format_telemetry_record,
+    format_telemetry_summary,
+    read_telemetry,
+    summarize_spans,
+    summarize_telemetry,
+    tail_telemetry,
+)
+from repro.obs.trace import (
+    Tracer,
+    get_tracer,
+    read_spans,
+    set_tracer,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "TELEMETRY_NAME",
+    "TRACE_NAME",
+    "Tracer",
+    "format_span_summary",
+    "format_telemetry_record",
+    "format_telemetry_summary",
+    "get_tracer",
+    "read_spans",
+    "read_telemetry",
+    "set_tracer",
+    "summarize_spans",
+    "summarize_telemetry",
+    "tail_telemetry",
+    "write_chrome_trace",
+]

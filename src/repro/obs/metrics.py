@@ -1,0 +1,398 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per subsystem (the serving engine owns one;
+anything standalone can build its own).  Three metric kinds cover the
+repo's needs:
+
+* :class:`Counter` — monotonically non-decreasing totals (requests,
+  cache hits, forward seconds).  Optionally label-split into children
+  (``registry.counter(..., labelnames=("route",)).labels(route=...)``).
+* :class:`Gauge` — a value that goes both ways (queue depth, arena
+  bytes).  A gauge built with ``fn=`` is *collected*: its value is read
+  from the callback at snapshot/render time, so live objects (a queue, a
+  workspace) are observed without double accounting.
+* :class:`Histogram` — fixed upper-bound buckets with exact per-bucket
+  counts, a running sum/count, and the observed max; quantiles (p50/p99)
+  are estimated by linear interpolation inside the owning bucket, the
+  standard Prometheus-side approximation.
+
+Snapshots are deterministic: metrics sort by name, labeled children by
+label values, so two snapshots of identical state are identical JSON.
+``render_prometheus`` emits the Prometheus text exposition format
+(``# HELP``/``# TYPE`` headers, cumulative ``_bucket{le=...}`` rows with
+``+Inf``, ``_sum``/``_count``).
+
+Everything here is stdlib-only and thread-safe: one lock per metric
+child, none held during callback collection longer than the read.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable
+
+#: Default histogram buckets for second-scale latencies (upper bounds).
+DEFAULT_TIME_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-friendly number rendering: ints bare, floats by repr."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_int = int(value)
+    if as_int == value:
+        return str(as_int)
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _label_suffix(labels: tuple[tuple[str, str], ...],
+                  extra: str = "") -> str:
+    parts = [f'{name}="{_escape_label(value)}"' for name, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """A monotonically non-decreasing total.
+
+    ``fn``-backed counters are collected (value read from the callback);
+    calling :meth:`inc` on one is an error.
+    """
+
+    kind = "counter"
+
+    def __init__(self, fn: Callable[[], float] | None = None):
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._fn is not None:
+            raise RuntimeError("cannot inc a collected (fn-backed) counter")
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+    def _snapshot_value(self):
+        value = self.value
+        return int(value) if value == int(value) else value
+
+
+class Gauge:
+    """A value that can go up and down; optionally callback-collected."""
+
+    kind = "gauge"
+
+    def __init__(self, fn: Callable[[], float] | None = None):
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def _check_settable(self) -> None:
+        if self._fn is not None:
+            raise RuntimeError("cannot set a collected (fn-backed) gauge")
+
+    def set(self, value: float) -> None:
+        self._check_settable()
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._check_settable()
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_to_max(self, value: float) -> None:
+        """Ratchet: keep the largest value ever set (high-water marks)."""
+        self._check_settable()
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+    def _snapshot_value(self):
+        value = self.value
+        return int(value) if value == int(value) else value
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact per-bucket counts.
+
+    ``buckets`` are inclusive upper bounds in increasing order; an
+    implicit ``+Inf`` bucket catches the rest.  An observation equal to
+    a bound lands in that bound's bucket (Prometheus ``le`` semantics).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_TIME_BUCKETS):
+        bounds = [float(b) for b in buckets]
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must be strictly increasing, "
+                             f"got {bounds}")
+        self._lock = threading.Lock()
+        self.bounds = tuple(bounds)
+        # counts[i] observations in (bounds[i-1], bounds[i]]; counts[-1]
+        # is the +Inf overflow.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def max_observed(self) -> float | None:
+        with self._lock:
+            return self._max if self._count else None
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> dict[str, int]:
+        """Exact per-bucket (non-cumulative) counts, keyed by upper bound."""
+        with self._lock:
+            counts = list(self._counts)
+        keyed = {_format_value(bound): counts[i]
+                 for i, bound in enumerate(self.bounds)}
+        keyed["+Inf"] = counts[-1]
+        return keyed
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0..1) by interpolation within a bucket.
+
+        Values above the last finite bound clamp to that bound (the +Inf
+        bucket has no width to interpolate in); an empty histogram
+        returns 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            observed_max = self._max
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            if count == 0:
+                continue
+            lower = cumulative
+            cumulative += count
+            if cumulative >= rank:
+                if index >= len(self.bounds):
+                    # +Inf bucket: the best point estimate is the max seen.
+                    return observed_max
+                hi = self.bounds[index]
+                lo = self.bounds[index - 1] if index > 0 else min(0.0, hi)
+                fraction = (rank - lower) / count
+                estimate = lo + (hi - lo) * max(0.0, min(1.0, fraction))
+                return min(estimate, observed_max)
+        return observed_max
+
+    def _snapshot_value(self) -> dict:
+        return {
+            "buckets": self.bucket_counts(),
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "max": self.max_observed,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """One registered name: help text, kind, and labeled children.
+
+    An unlabeled metric is a family with a single anonymous child, which
+    the registry returns directly — callers never see the family.
+    """
+
+    def __init__(self, name: str, help_text: str, kind: str,
+                 labelnames: tuple[str, ...], **child_kwargs):
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = labelnames
+        self._child_kwargs = child_kwargs
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+        if not labelnames:
+            self._children[()] = _KINDS[kind](**child_kwargs)
+
+    def labels(self, **labels: str):
+        """The child metric for one label-value combination (created lazily)."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(f"{self.name} expects labels "
+                             f"{self.labelnames}, got {tuple(labels)}")
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = _KINDS[self.kind](**self._child_kwargs)
+                self._children[key] = child
+            return child
+
+    def _sorted_children(self) -> list[tuple[tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def items(self) -> list[tuple[tuple[str, ...], object]]:
+        """(label-values tuple, child metric) pairs, deterministically
+        sorted — the read-side counterpart of :meth:`labels`."""
+        return self._sorted_children()
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics with deterministic output."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _get_or_create(self, name: str, help_text: str, kind: str,
+                       labelnames: tuple[str, ...], **child_kwargs):
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, help_text, kind,
+                                 tuple(labelnames), **child_kwargs)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {family.kind}, not a {kind}")
+            elif family.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} has labels {family.labelnames}, "
+                    f"not {tuple(labelnames)}")
+        if family.labelnames:
+            return family
+        return family._children[()]
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Iterable[str] = (),
+                fn: Callable[[], float] | None = None):
+        """A :class:`Counter` (or, with ``labelnames``, its family)."""
+        return self._get_or_create(name, help_text, "counter",
+                                   tuple(labelnames), fn=fn)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Iterable[str] = (),
+              fn: Callable[[], float] | None = None):
+        """A :class:`Gauge` (or its family); ``fn`` makes it collected."""
+        return self._get_or_create(name, help_text, "gauge",
+                                   tuple(labelnames), fn=fn)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+                  labelnames: Iterable[str] = ()):
+        return self._get_or_create(name, help_text, "histogram",
+                                   tuple(labelnames),
+                                   buckets=tuple(buckets))
+
+    # -- output ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-able view of every metric's current value."""
+        with self._lock:
+            families = sorted(self._families.items())
+        document: dict = {}
+        for name, family in families:
+            children = family._sorted_children()
+            if not family.labelnames:
+                document[name] = children[0][1]._snapshot_value()
+                continue
+            document[name] = {
+                ",".join(f"{ln}={lv}" for ln, lv
+                         in zip(family.labelnames, key)):
+                child._snapshot_value()
+                for key, child in children}
+        return document
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            families = sorted(self._families.items())
+        lines: list[str] = []
+        for name, family in families:
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key, child in family._sorted_children():
+                labels = tuple(zip(family.labelnames, key))
+                if family.kind == "histogram":
+                    self._render_histogram(lines, name, labels, child)
+                else:
+                    lines.append(f"{name}{_label_suffix(labels)} "
+                                 f"{_format_value(child.value)}")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_histogram(lines: list[str], name: str,
+                          labels: tuple[tuple[str, str], ...],
+                          histogram: Histogram) -> None:
+        cumulative = 0
+        counts = histogram.bucket_counts()
+        for bound_text, count in counts.items():
+            cumulative += count
+            suffix = _label_suffix(labels, f'le="{bound_text}"')
+            lines.append(f"{name}_bucket{suffix} {cumulative}")
+        plain = _label_suffix(labels)
+        lines.append(f"{name}_sum{plain} {_format_value(histogram.sum)}")
+        lines.append(f"{name}_count{plain} {histogram.count}")

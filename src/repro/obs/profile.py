@@ -1,0 +1,172 @@
+"""Opt-in per-layer profiling for ``repro.nn`` models.
+
+:class:`Profiler` wraps the compute methods (``forward``, ``backward``,
+``forward_eval``, ``forward_eval_folded``) of every *leaf* module in a
+model with a timing shim, accumulating per-layer call counts, wall time,
+and gemm counts.  The wrap is per-instance: :meth:`Profiler.attach`
+shadows the bound methods in the instance ``__dict__`` and
+:meth:`Profiler.detach` deletes the shadows, so a model that is not
+being profiled runs the original unwrapped methods — disabled profiling
+is *literally absent*, not a branch on a flag.
+
+Gemm counts come from a ``GEMM_COUNTS`` class attribute on the layer
+(``{"forward": 1, "backward": 2, ...}`` on the conv layers); a conv
+``backward(..., need_input_grad=False)`` skips its input-gradient gemm,
+which the shim accounts for.  Workspace high-water bytes are read from
+the arena's own ``peak_nbytes`` counter at snapshot time.
+
+This module is stdlib-only — it duck-types against ``repro.nn`` modules
+without importing numpy, so ``repro.obs`` stays importable everywhere.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+
+#: Compute methods a leaf module may define; wrapped when overridden.
+PROFILED_METHODS = ("forward", "backward", "forward_eval",
+                    "forward_eval_folded")
+
+
+def _gemms_for(module, method: str, args: tuple, kwargs: dict) -> int:
+    counts = getattr(type(module), "GEMM_COUNTS", None)
+    if not counts:
+        return 0
+    gemms = counts.get(method, 0)
+    if method == "backward" and gemms:
+        need_input_grad = kwargs.get(
+            "need_input_grad", args[1] if len(args) > 1 else True)
+        if need_input_grad is False:
+            gemms -= 1
+    return gemms
+
+
+class _Stat:
+    __slots__ = ("calls", "ns", "gemms")
+
+    def __init__(self):
+        self.calls = 0
+        self.ns = 0
+        self.gemms = 0
+
+
+class Profiler:
+    """Accumulate per-layer timing by shimming leaf-module methods."""
+
+    def __init__(self):
+        # (layer path, method name) -> _Stat
+        self._stats: dict[tuple[str, str], _Stat] = {}
+        # (module, method name) -> True while shimmed, for clean detach
+        self._wrapped: list[tuple[object, str]] = []
+        self._attached_roots: list[object] = []
+
+    @property
+    def attached(self) -> bool:
+        return bool(self._wrapped)
+
+    # -- attach / detach ---------------------------------------------------
+
+    def attach(self, module, prefix: str = "") -> "Profiler":
+        """Shim every leaf module under ``module`` (recursively).
+
+        ``prefix`` names the root in the stats (useful when profiling
+        generator and discriminator under one profiler).
+        """
+        self._attached_roots.append(module)
+        base = type(module).__mro__[-2]  # the repro.nn Module base
+        for path, leaf in _named_leaves(module, prefix):
+            for method in PROFILED_METHODS:
+                impl = getattr(type(leaf), method, None)
+                if impl is None or impl is getattr(base, method, None):
+                    continue  # inherited default delegates to forward
+                if method in vars(leaf):
+                    raise RuntimeError(
+                        f"{path}.{method} already wrapped; nested attach "
+                        f"of the same module is not supported")
+                self._shim(leaf, path, method)
+        return self
+
+    def _shim(self, leaf, path: str, method: str) -> None:
+        original = getattr(leaf, method)  # bound method
+        stat = self._stats.setdefault((path, method), _Stat())
+        perf_ns = time.perf_counter_ns
+
+        @functools.wraps(original)
+        def wrapper(*args, **kwargs):
+            start = perf_ns()
+            try:
+                return original(*args, **kwargs)
+            finally:
+                stat.ns += perf_ns() - start
+                stat.calls += 1
+                stat.gemms += _gemms_for(leaf, method, args, kwargs)
+
+        setattr(leaf, method, wrapper)
+        self._wrapped.append((leaf, method))
+
+    def detach(self) -> "Profiler":
+        """Remove every shim, restoring the original class methods."""
+        for leaf, method in self._wrapped:
+            vars(leaf).pop(method, None)
+        self._wrapped.clear()
+        self._attached_roots.clear()
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.detach()
+        return False
+
+    # -- results -----------------------------------------------------------
+
+    def reset(self) -> None:
+        for stat in self._stats.values():
+            stat.calls = stat.ns = stat.gemms = 0
+
+    def snapshot(self, workspace=None) -> dict:
+        """Deterministically-ordered stats, plus arena bytes if given."""
+        layers: dict[str, dict] = {}
+        totals = {"calls": 0, "ms": 0.0, "gemms": 0}
+        for (path, method), stat in sorted(self._stats.items()):
+            entry = layers.setdefault(path, {})
+            entry[method] = {
+                "calls": stat.calls,
+                "ms": stat.ns / 1e6,
+                "gemms": stat.gemms,
+            }
+            totals["calls"] += stat.calls
+            totals["ms"] += stat.ns / 1e6
+            totals["gemms"] += stat.gemms
+        document = {"layers": layers, "totals": totals}
+        if workspace is not None:
+            document["workspace"] = {
+                "nbytes": int(workspace.nbytes),
+                "peak_nbytes": int(workspace.peak_nbytes),
+            }
+        return document
+
+    def format_table(self, top: int = 0) -> str:
+        """A plain-text per-layer table, slowest first."""
+        rows = sorted(
+            ((stat.ns, path, method, stat)
+             for (path, method), stat in self._stats.items()
+             if stat.calls),
+            reverse=True)
+        if top:
+            rows = rows[:top]
+        lines = [f"{'layer':<40} {'pass':<20} {'calls':>7} "
+                 f"{'ms':>10} {'gemms':>7}"]
+        for _, path, method, stat in rows:
+            lines.append(f"{path:<40} {method:<20} {stat.calls:>7} "
+                         f"{stat.ns / 1e6:>10.3f} {stat.gemms:>7}")
+        return "\n".join(lines)
+
+
+def _named_leaves(module, prefix: str):
+    """(path, leaf) pairs for modules with no child modules."""
+    for path, sub in module.named_modules(prefix):
+        if not any(True for _ in sub.children()):
+            yield path, sub

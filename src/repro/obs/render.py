@@ -1,0 +1,167 @@
+"""Stdlib-only readers/renderers for telemetry and trace artifacts.
+
+Everything ``repro obs`` and the ``repro train status`` timing block
+need to turn a run directory's ``telemetry.jsonl`` / ``trace.jsonl``
+into numbers and terminal text lives here — with zero numpy on the
+import path, same contract as ``repro.train.status``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+TELEMETRY_NAME = "telemetry.jsonl"
+TRACE_NAME = "trace.jsonl"
+
+
+def read_telemetry(path: str | Path) -> list[dict]:
+    """All telemetry records from a JSONL file ([] when absent)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def tail_telemetry(path: str | Path, count: int = 10) -> list[dict]:
+    """The last ``count`` telemetry records, oldest first."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    tail: deque = deque(maxlen=count)
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                tail.append(line)
+    return [json.loads(line) for line in tail]
+
+
+class _Acc:
+    __slots__ = ("count", "total_ms", "max_ms")
+
+    def __init__(self):
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+
+    def add(self, ms: float) -> None:
+        self.count += 1
+        self.total_ms += ms
+        if ms > self.max_ms:
+            self.max_ms = ms
+
+    def asdict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_ms": self.total_ms,
+            "mean_ms": self.total_ms / self.count if self.count else 0.0,
+            "max_ms": self.max_ms,
+        }
+
+
+def summarize_telemetry(records: list[dict]) -> dict:
+    """Aggregate step/epoch/eval/checkpoint events into one summary.
+
+    ``steps_per_sec`` / ``mean_step_ms`` under ``"throughput"`` come
+    from the *last* epoch fold — the current speed, not the lifetime
+    average, which is what a status poll wants.
+    """
+    accs = {name: _Acc() for name in ("step", "eval", "checkpoint")}
+    last_epoch = None
+    epochs = 0
+    for record in records:
+        event = record.get("event")
+        if event == "epoch":
+            epochs += 1
+            last_epoch = record
+        elif event in accs and "ms" in record:
+            accs[event].add(record["ms"])
+    summary = {
+        "events": len(records),
+        "steps": accs["step"].asdict(),
+        "evals": accs["eval"].asdict(),
+        "checkpoints": accs["checkpoint"].asdict(),
+        "epochs": epochs,
+    }
+    if last_epoch is not None:
+        summary["throughput"] = {
+            "phase": last_epoch.get("phase"),
+            "epoch": last_epoch.get("epoch"),
+            "steps_per_sec": last_epoch.get("steps_per_sec"),
+            "mean_step_ms": last_epoch.get("mean_step_ms"),
+        }
+    return summary
+
+
+def format_telemetry_summary(summary: dict) -> str:
+    lines = [f"telemetry: {summary['events']} events, "
+             f"{summary['epochs']} epoch folds"]
+    steps = summary["steps"]
+    if steps["count"]:
+        lines.append(f"  steps        {steps['count']} timed, "
+                     f"mean {steps['mean_ms']:.2f} ms, "
+                     f"max {steps['max_ms']:.2f} ms")
+    throughput = summary.get("throughput")
+    if throughput and throughput.get("steps_per_sec") is not None:
+        lines.append(f"  throughput   {throughput['steps_per_sec']:.2f} "
+                     f"steps/s (phase {throughput['phase']}, "
+                     f"epoch {throughput['epoch']})")
+    evals = summary["evals"]
+    if evals["count"]:
+        lines.append(f"  eval hooks   {evals['count']} runs, "
+                     f"mean {evals['mean_ms']:.1f} ms")
+    checkpoints = summary["checkpoints"]
+    if checkpoints["count"]:
+        lines.append(f"  checkpoints  {checkpoints['count']} written, "
+                     f"mean {checkpoints['mean_ms']:.1f} ms")
+    return "\n".join(lines)
+
+
+def format_telemetry_record(record: dict) -> str:
+    """One telemetry record as a stable single line for ``obs tail``."""
+    event = record.get("event", "?")
+    where = " ".join(
+        f"{key}={record[key]}" for key in ("phase", "epoch", "step")
+        if key in record)
+    timing = ""
+    if "ms" in record:
+        timing = f"  {record['ms']:.2f} ms"
+    elif "seconds" in record:
+        timing = f"  {record['seconds']:.2f} s"
+    extras = " ".join(
+        f"{key}={_round(record[key])}"
+        for key in sorted(record)
+        if key not in ("event", "phase", "epoch", "step", "ms", "seconds"))
+    return f"{event:<11}{where}{timing}" + (f"  [{extras}]" if extras else "")
+
+
+def _round(value):
+    return round(value, 4) if isinstance(value, float) else value
+
+
+def summarize_spans(spans: list[dict]) -> dict:
+    """Per-name span aggregates (count, total/mean/max ms), sorted by
+    total time descending."""
+    accs: dict[str, _Acc] = {}
+    for span in spans:
+        accs.setdefault(span["name"], _Acc()).add(
+            span.get("dur_us", 0) / 1000.0)
+    ordered = sorted(accs.items(), key=lambda kv: -kv[1].total_ms)
+    return {name: acc.asdict() for name, acc in ordered}
+
+
+def format_span_summary(by_name: dict) -> str:
+    lines = [f"{'span':<28} {'count':>7} {'total ms':>10} "
+             f"{'mean ms':>9} {'max ms':>9}"]
+    for name, acc in by_name.items():
+        lines.append(f"{name:<28} {acc['count']:>7} {acc['total_ms']:>10.2f} "
+                     f"{acc['mean_ms']:>9.3f} {acc['max_ms']:>9.3f}")
+    return "\n".join(lines)

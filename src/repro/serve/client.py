@@ -43,13 +43,16 @@ class ForecastClient:
 
     # -- transport ---------------------------------------------------------
 
-    def _request(self, path: str, payload: dict | None = None) -> dict:
+    def _request(self, path: str, payload: dict | None = None,
+                 accept: str | None = None) -> dict:
         url = self.base_url + path
         data = None
         headers = {}
         if payload is not None:
             data = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
+        if accept is not None:
+            headers["Accept"] = accept
         request = urllib.request.Request(url, data=data, headers=headers)
         try:
             with urllib.request.urlopen(request,
@@ -71,7 +74,21 @@ class ForecastClient:
         return self._request("/v1/models")["models"]
 
     def metrics(self) -> dict:
-        return self._request("/metrics")
+        """The legacy JSON metrics document (explicitly negotiated —
+        ``GET /metrics`` defaults to Prometheus text)."""
+        return self._request("/metrics", accept="application/json")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of ``GET /metrics``."""
+        url = self.base_url + "/metrics"
+        request = urllib.request.Request(
+            url, headers={"Accept": "text/plain"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ClientError(error.code, str(error)) from None
 
     def forecast(self, model: str, x: np.ndarray | None = None,
                  place_image: np.ndarray | None = None,

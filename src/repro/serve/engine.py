@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, get_tracer
 from repro.serve.cache import ForecastCache, input_digest
 from repro.serve.registry import ModelRegistry
 
@@ -77,12 +79,23 @@ class BatchingEngine:
         ``forward_eval`` path, whose workspace arena sizes its scratch to
         the largest batch seen — warming at ``max_batch`` moves that
         one-time allocation cost out of the first real request.
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` to publish into (one is
+        created when omitted).  Everything ``/metrics`` serves — batch
+        counters, latency histogram, queue depth, cache hit/miss — lives
+        here; :meth:`stats` reconstructs the legacy JSON shape from it.
+    tracer:
+        A :class:`repro.obs.Tracer` for per-request spans
+        (queue-wait → batch → forward).  Defaults to the process tracer,
+        which is a no-op unless ``REPRO_TRACE`` is set.
     """
 
     def __init__(self, registry: ModelRegistry, max_batch: int = 8,
                  max_wait_ms: float = 2.0,
                  cache: ForecastCache | None = None,
-                 warm_start: bool = False):
+                 warm_start: bool = False,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_ms < 0:
@@ -92,6 +105,8 @@ class BatchingEngine:
         self.max_wait_ms = max_wait_ms
         self.cache = cache
         self.warm_start = warm_start
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else get_tracer()
         # SimpleQueue: C-implemented put/get, measurably cheaper per
         # request than queue.Queue on the single-worker hot path.
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
@@ -101,15 +116,57 @@ class BatchingEngine:
         self._stack_bufs: dict[tuple, np.ndarray] = {}
         self._worker: threading.Thread | None = None
         self._stopping = False
-        self._stats_lock = threading.Lock()
-        self._requests = 0
-        self._batches = 0
-        self._batched_requests = 0
-        self._batch_occupancy_hist: dict[int, int] = {}
-        self._max_occupancy = 0
-        self._forward_seconds = 0.0
-        self._latency_seconds = 0.0
-        self._completed = 0
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Create the engine's metrics in the registry.
+
+        Derived legacy numbers come from the histograms themselves —
+        ``completed`` is the latency histogram's count, ``batches`` /
+        ``batched_requests`` the occupancy histogram's count/sum — so
+        the snapshot invariants (histogram sums to batch count) hold by
+        construction rather than by multi-counter locking.
+        """
+        m = self.metrics
+        self._m_requests = m.counter(
+            "serve_requests_total",
+            "Forecast requests accepted (cache hits included).")
+        self._m_forward_seconds = m.counter(
+            "serve_forward_seconds_total",
+            "Wall seconds spent inside model forwards.")
+        self._m_latency = m.histogram(
+            "serve_request_latency_seconds",
+            "Submit-to-result latency per completed request.")
+        self._m_occupancy = m.histogram(
+            "serve_batch_occupancy",
+            "Requests per served micro-batch.",
+            buckets=range(1, self.max_batch + 1))
+        m.gauge("serve_queue_depth", "Requests waiting in the batch queue.",
+                fn=self._queue.qsize)
+        m.gauge("serve_workspace_bytes",
+                "Scratch-arena capacity across served models.",
+                fn=self._workspace_bytes)
+        cache = self.cache
+        if cache is not None:
+            m.counter("serve_cache_hits_total",
+                      "Forecast cache hits.", fn=lambda: cache.hits)
+            m.counter("serve_cache_misses_total",
+                      "Forecast cache misses.", fn=lambda: cache.misses)
+            m.counter("serve_cache_evictions_total",
+                      "Forecast cache LRU evictions.",
+                      fn=lambda: cache.evictions)
+            m.gauge("serve_cache_size", "Entries currently cached.",
+                    fn=cache.__len__)
+            m.gauge("serve_cache_hit_ratio",
+                    "Cache hits over total lookups.",
+                    fn=lambda: cache.hit_rate)
+
+    def _workspace_bytes(self) -> int:
+        return sum(
+            model.workspace.nbytes
+            for model in (self.registry.get(model_id)
+                          for model_id in self.registry.model_ids)
+            if getattr(model, "workspace", None) is not None)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -197,16 +254,15 @@ class BatchingEngine:
             digest = input_digest(x)
             hit = self.cache.get(model_id, digest)
             if hit is not None:
-                with self._stats_lock:
-                    self._requests += 1
-                    self._completed += 1
-                    self._latency_seconds += time.perf_counter() - now
+                self._m_requests.inc()
+                latency = time.perf_counter() - now
+                self._m_latency.observe(latency)
+                self.tracer.instant("serve.cache_hit", model=model_id)
                 future.set_result(ForecastResult(
                     model_id=model_id, image=hit, cached=True,
-                    latency_seconds=time.perf_counter() - now))
+                    latency_seconds=latency))
                 return future
-        with self._stats_lock:
-            self._requests += 1
+        self._m_requests.inc()
         self._queue.put(_Request(model_id=model_id, x=x, digest=digest,
                                  future=future, submitted_at=now))
         return future
@@ -267,53 +323,62 @@ class BatchingEngine:
                 return
 
     def _serve_batch(self, batch: list[_Request]) -> None:
-        with self._stats_lock:
-            self._batches += 1
-            self._batched_requests += len(batch)
-            self._batch_occupancy_hist[len(batch)] = (
-                self._batch_occupancy_hist.get(len(batch), 0) + 1)
-            self._max_occupancy = max(self._max_occupancy, len(batch))
+        tracer = self.tracer
+        self._m_occupancy.observe(len(batch))
+        if tracer.enabled:
+            # Queue wait per request: submitted_at is a perf_counter
+            # float, the same clock perf_counter_ns reads in ns.
+            now_ns = time.perf_counter_ns()
+            for request in batch:
+                start_ns = int(request.submitted_at * 1e9)
+                tracer.complete("serve.queue_wait", start_ns,
+                                now_ns - start_ns, model=request.model_id)
         # One forward per distinct model, in arrival order of first request.
         groups: dict[str, list[_Request]] = {}
         for request in batch:
             groups.setdefault(request.model_id, []).append(request)
-        for model_id, requests in groups.items():
-            try:
-                model = self._lookup(model_id)[0]
-                stacked = self._stack_inputs(model_id, requests)
-                start = time.perf_counter()
+        with tracer.span("serve.batch", size=len(batch),
+                         models=len(groups)):
+            for model_id, requests in groups.items():
+                self._serve_group(model_id, requests)
+
+    def _serve_group(self, model_id: str, requests: list[_Request]) -> None:
+        try:
+            model = self._lookup(model_id)[0]
+            stacked = self._stack_inputs(model_id, requests)
+            start = time.perf_counter()
+            with self.tracer.span("serve.forward", model=model_id,
+                                  batch=len(requests)):
                 images = model.forecast(stacked)
-                forward_seconds = time.perf_counter() - start
-            except Exception as error:  # surface to every waiting caller
-                for request in requests:
-                    request.future.set_exception(error)
-                continue
-            done = time.perf_counter()
-            with self._stats_lock:
-                self._forward_seconds += forward_seconds
-                self._completed += len(requests)
-                self._latency_seconds += sum(
-                    done - request.submitted_at for request in requests)
-            caching = self.cache is not None
-            if not caching:
-                # No cache: hand out read-only row views of the batch
-                # result directly.  The batch array is modest (it lives
-                # exactly as long as its views) and skipping per-request
-                # copies is measurable at small image sizes.
-                images = np.ascontiguousarray(images)
-                images.flags.writeable = False
-            for request, image in zip(requests, images):
-                if caching:
-                    # Copy out of the batch (a row view would pin the
-                    # whole batch in the cache) and freeze — results are
-                    # read-only on the hit path too.
-                    image = np.ascontiguousarray(image)
-                    image.flags.writeable = False
-                    if request.digest is not None:
-                        self.cache.put(model_id, request.digest, image)
-                request.future.set_result(ForecastResult(
-                    model_id=model_id, image=image, cached=False,
-                    latency_seconds=done - request.submitted_at))
+            forward_seconds = time.perf_counter() - start
+        except Exception as error:  # surface to every waiting caller
+            for request in requests:
+                request.future.set_exception(error)
+            return
+        done = time.perf_counter()
+        self._m_forward_seconds.inc(forward_seconds)
+        for request in requests:
+            self._m_latency.observe(done - request.submitted_at)
+        caching = self.cache is not None
+        if not caching:
+            # No cache: hand out read-only row views of the batch
+            # result directly.  The batch array is modest (it lives
+            # exactly as long as its views) and skipping per-request
+            # copies is measurable at small image sizes.
+            images = np.ascontiguousarray(images)
+            images.flags.writeable = False
+        for request, image in zip(requests, images):
+            if caching:
+                # Copy out of the batch (a row view would pin the
+                # whole batch in the cache) and freeze — results are
+                # read-only on the hit path too.
+                image = np.ascontiguousarray(image)
+                image.flags.writeable = False
+                if request.digest is not None:
+                    self.cache.put(model_id, request.digest, image)
+            request.future.set_result(ForecastResult(
+                model_id=model_id, image=image, cached=False,
+                latency_seconds=done - request.submitted_at))
 
     def _stack_inputs(self, model_id: str,
                       requests: list[_Request]) -> np.ndarray:
@@ -333,36 +398,47 @@ class BatchingEngine:
     # -- metrics -----------------------------------------------------------
 
     def stats(self) -> dict:
-        """Counters snapshot for ``/metrics``."""
-        with self._stats_lock:
-            batches = self._batches
-            snapshot = {
-                "requests": self._requests,
-                "completed": self._completed,
-                "batches": batches,
-                "batched_requests": self._batched_requests,
-                "mean_batch_occupancy": (
-                    self._batched_requests / batches if batches else 0.0),
-                "max_batch_occupancy": self._max_occupancy,
-                # Micro-batch size histogram: {occupancy: batch count}.
-                "batch_occupancy_histogram": {
-                    str(size): count for size, count in
-                    sorted(self._batch_occupancy_hist.items())},
-                "forward_seconds_total": self._forward_seconds,
-                "mean_latency_ms": (
-                    1e3 * self._latency_seconds / self._completed
-                    if self._completed else 0.0),
-                "max_batch": self.max_batch,
-                "max_wait_ms": self.max_wait_ms,
-                "queue_depth": self._queue.qsize(),
-                # Scratch-arena capacity across served models: steady state
-                # means forwards allocate (almost) nothing per request.
-                "workspace_bytes": sum(
-                    model.workspace.nbytes
-                    for model in (self.registry.get(model_id)
-                                  for model_id in self.registry.model_ids)
-                    if getattr(model, "workspace", None) is not None),
-            }
+        """Legacy counters snapshot (the ``/metrics`` JSON shape).
+
+        Every number is reconstructed from the metrics registry — the
+        registry is the single source of truth; this method only adapts
+        it to the response shape pre-registry clients expect.  The
+        Prometheus rendering of the same state is
+        ``self.metrics.render_prometheus()``.
+        """
+        occupancy = self._m_occupancy
+        latency = self._m_latency
+        batches = occupancy.count
+        batched_requests = int(occupancy.sum)
+        completed = latency.count
+        snapshot = {
+            "requests": int(self._m_requests.value),
+            "completed": completed,
+            "batches": batches,
+            "batched_requests": batched_requests,
+            "mean_batch_occupancy": (
+                batched_requests / batches if batches else 0.0),
+            "max_batch_occupancy": int(occupancy.max_observed or 0),
+            # Micro-batch size histogram: {occupancy: batch count}.  The
+            # metric's buckets are exactly the integers 1..max_batch, so
+            # the exact per-size counts survive; zero-count sizes are
+            # omitted as the hand-rolled dict omitted them.
+            "batch_occupancy_histogram": {
+                size: count
+                for size, count in occupancy.bucket_counts().items()
+                if count and size != "+Inf"},
+            "forward_seconds_total": self._m_forward_seconds.value,
+            "mean_latency_ms": (
+                1e3 * latency.sum / completed if completed else 0.0),
+            "latency_p50_ms": 1e3 * latency.quantile(0.5),
+            "latency_p99_ms": 1e3 * latency.quantile(0.99),
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "queue_depth": self._queue.qsize(),
+            # Scratch-arena capacity across served models: steady state
+            # means forwards allocate (almost) nothing per request.
+            "workspace_bytes": self._workspace_bytes(),
+        }
         # Forecast-cache hit/miss counters, surfaced at the top level next
         # to the batching counters (the cache itself owns the state).
         if self.cache is not None:

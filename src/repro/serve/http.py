@@ -4,7 +4,10 @@ Endpoints:
 
 * ``GET /healthz``      — liveness: status, version, registered model count.
 * ``GET /v1/models``    — model metadata from the registry.
-* ``GET /metrics``      — engine, cache, and HTTP counters.
+* ``GET /metrics``      — engine, cache, and HTTP counters.  Served as
+  Prometheus text exposition by default; clients sending
+  ``Accept: application/json`` get the legacy JSON shape
+  (``{"engine": ..., "http": ...}``) unchanged.
 * ``POST /v1/forecast`` — run one forecast.  Body is JSON with ``model``
   plus either ``input`` (a nested ``(C, H, W)`` list in [-1, 1]) or
   ``place_image`` (``(H, W, 3)`` in [0, 1]) with ``connect_image``
@@ -32,6 +35,9 @@ from repro.serve.engine import BatchingEngine
 
 #: Reject request bodies larger than this (64 MB covers a 1024px input).
 MAX_BODY_BYTES = 64 << 20
+
+#: Prometheus text exposition content type (the format /metrics defaults to).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class ApiError(Exception):
@@ -101,10 +107,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _count(self, route: str) -> None:
-        with self.api._lock:
-            counts = self.api._route_counts
-            counts[route] = counts.get(route, 0) + 1
+        self.api.route_counter.labels(route=route).inc()
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         try:
@@ -124,10 +136,17 @@ class _Handler(BaseHTTPRequestHandler):
                 })
             elif self.path == "/metrics":
                 self._count("/metrics")
-                self._send_json(200, {
-                    "engine": self.api.engine.stats(),
-                    "http": self.api.http_stats(),
-                })
+                # Content negotiation: Prometheus text by default, the
+                # legacy JSON shape for clients that ask for JSON.
+                if "application/json" in self.headers.get("Accept", ""):
+                    self._send_json(200, {
+                        "engine": self.api.engine.stats(),
+                        "http": self.api.http_stats(),
+                    })
+                else:
+                    self._send_text(
+                        200, self.api.engine.metrics.render_prometheus(),
+                        PROMETHEUS_CONTENT_TYPE)
             else:
                 raise ApiError(404, f"no such route: {self.path}")
         except ApiError as error:
@@ -150,8 +169,11 @@ class _Handler(BaseHTTPRequestHandler):
             model_id, x = _parse_forecast_body(body)
             engine = self.api.engine
             try:
-                result = engine.forecast_result(
-                    model_id, x, timeout=self.api.forecast_timeout)
+                with engine.tracer.span("http.request",
+                                        route="/v1/forecast",
+                                        model=model_id):
+                    result = engine.forecast_result(
+                        model_id, x, timeout=self.api.forecast_timeout)
             except KeyError as error:
                 raise ApiError(404, str(error.args[0])) from None
             except ValueError as error:
@@ -191,12 +213,18 @@ class ForecastServer:
         self.started_at = time.time()
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
-        self._lock = threading.Lock()
-        self._route_counts: dict[str, int] = {}
+        #: Per-route request counts, as a labeled family in the engine's
+        #: registry — rendered in Prometheus text as
+        #: ``http_requests_total{route="..."}``.
+        self.route_counter = engine.metrics.counter(
+            "http_requests_total", "HTTP requests by route.",
+            labelnames=("route",))
 
     def http_stats(self) -> dict:
-        with self._lock:
-            return {"requests_by_route": dict(self._route_counts)}
+        """Legacy ``{"requests_by_route": ...}`` shape off the registry."""
+        return {"requests_by_route": {
+            labels[0]: int(counter.value)
+            for labels, counter in self.route_counter.items()}}
 
     def start(self) -> "ForecastServer":
         if self._httpd is not None:

@@ -12,6 +12,8 @@ and persisting the full lifecycle into a **run directory**:
       status.json        # mutable progress (epoch, losses, best, timing)
       losses.jsonl       # one line per optimizer step + per epoch fold
       evals.jsonl        # eval-hook metric passes
+      telemetry.jsonl    # timing events (steps, epochs, evals, ckpts)
+      trace.jsonl        # spans, only when tracing is enabled
       checkpoints/       # exact-resume train states + latest.json
       export/            # finished checkpoints in the serve registry
                          # format (Pix2Pix.save .npz)
@@ -21,7 +23,10 @@ and step counts, dropout rng streams, the sample-order state, and the
 loader cursor — so ``Runner.resume(run_dir).run()`` continues a killed
 run **bitwise-identically**: final weights and ``losses.jsonl`` match an
 uninterrupted run byte for byte.  Timing and other non-deterministic
-facts live only in ``status.json``, never in the compared artifacts.
+facts live only in ``status.json`` and ``telemetry.jsonl``, never in the
+compared artifacts; telemetry is append-only and observational (it is
+neither truncated on resume nor consulted by any training decision), so
+running with it on or off produces byte-identical model artifacts.
 """
 
 from __future__ import annotations
@@ -53,6 +58,8 @@ from repro.train.loop import (
 )
 from repro.train.spec import TrainSpec
 
+from repro.obs.trace import Tracer, get_tracer, set_tracer
+
 # Artifact names shared with the stdlib-only status reader live there —
 # one definition, and this import direction keeps status numpy-free.
 from repro.train.status import (
@@ -60,6 +67,7 @@ from repro.train.status import (
     LOSSES_NAME,
     SPEC_NAME,
     STATUS_NAME,
+    TELEMETRY_NAME,
 )
 
 CHECKPOINT_DIR = "checkpoints"
@@ -113,12 +121,19 @@ class Runner:
                  dataset: Dataset | None = None,
                  finetune_dataset: Dataset | None = None,
                  eval_dataset: Dataset | None = None,
-                 log=None, _fresh: bool = True):
+                 log=None, telemetry: bool = True, trace: bool = False,
+                 tracer: Tracer | None = None, _fresh: bool = True):
         self.spec = spec
         self.scale = spec.resolve_scale()
         self.run_dir = Path(run_dir) if run_dir is not None else None
         self.log = log
         self._store = None
+        # Telemetry: timing events into <run>/telemetry.jsonl.  Purely
+        # observational — nothing the training path reads back.
+        self._telemetry = telemetry and self.run_dir is not None
+        self._step_started: float | None = None
+        self._epoch_steps = 0
+        self._epoch_step_ms = 0.0
         train_data, finetune_data, eval_data = self._resolve_datasets(
             dataset, finetune_dataset, eval_dataset)
         self.eval_dataset = eval_data
@@ -135,6 +150,17 @@ class Runner:
         self._spec_sha_cached: str | None = None
         if self.run_dir is not None:
             self._init_run_dir(fresh=_fresh)
+        # Spans: an explicit tracer wins; ``trace=True`` opens
+        # <run>/trace.jsonl (after _init_run_dir so a restart's unlink
+        # doesn't orphan the handle); otherwise the process default,
+        # which is a no-op unless REPRO_TRACE is set.
+        if tracer is not None:
+            self.tracer = tracer
+        elif trace and self.run_dir is not None:
+            self.tracer = Tracer(self.run_dir / "trace.jsonl",
+                                 flush_every=64)
+        else:
+            self.tracer = get_tracer()
 
     # -- construction --------------------------------------------------------
 
@@ -295,6 +321,12 @@ class Runner:
             # which preserves everything and restores the cursor.
             self._truncate_jsonl(LOSSES_NAME, 0)
             self._truncate_jsonl(EVALS_NAME, 0)
+            # Observational logs restart with the run too — a restarted
+            # run's timeline must not interleave with its predecessor's.
+            for stale_log in (TELEMETRY_NAME, "trace.jsonl"):
+                stale_path = self._path(stale_log)
+                if stale_path.exists():
+                    stale_path.unlink()
             for directory in (CHECKPOINT_DIR, EXPORT_DIR):
                 for stale in (self.run_dir / directory).iterdir():
                     stale.unlink()
@@ -388,13 +420,16 @@ class Runner:
 
     # -- logging -------------------------------------------------------------
 
-    def _append_line(self, name: str, document: dict) -> None:
+    def _append_line(self, name: str, document: dict,
+                     flush: bool = True) -> None:
         """Append one line, through a handle held open across the run.
 
         The handle is opened lazily on first append (after any resume
         truncation) and flushed per line, so a killed process loses at
         most the unflushed tail — which resume truncates to the last
-        checkpoint's line count anyway.
+        checkpoint's line count anyway.  Telemetry passes ``flush=False``
+        on per-step events (losing a tail of timing lines is harmless)
+        and flushes on epoch folds.
         """
         if self.run_dir is None:
             return
@@ -403,7 +438,13 @@ class Runner:
             handle = open(self._path(name), "a")
             self._handles[name] = handle
         handle.write(_json_line(document))
-        handle.flush()
+        if flush:
+            handle.flush()
+
+    def _note(self, document: dict, flush: bool = False) -> None:
+        """One telemetry event (no-op when telemetry is disabled)."""
+        if self._telemetry:
+            self._append_line(TELEMETRY_NAME, document, flush=flush)
 
     def _close_handles(self) -> None:
         for handle in self._handles.values():
@@ -415,15 +456,22 @@ class Runner:
     def _checkpoint(self) -> Path | None:
         if self.run_dir is None:
             return None
+        started = time.perf_counter()
         directory = self._path(CHECKPOINT_DIR)
         path = directory / f"step_{self.cursor.global_step:08d}.npz"
-        save_train_state(path, self.model, self.cursor, self._loss_sums,
-                         spec_sha=self._spec_sha())
-        _atomic_write_text(
-            directory / LATEST_NAME,
-            json.dumps({"file": path.name,
-                        "global_step": self.cursor.global_step}) + "\n")
-        self._prune_checkpoints(directory, keep=path.name)
+        with self.tracer.span("train.checkpoint",
+                              step=self.cursor.global_step):
+            save_train_state(path, self.model, self.cursor, self._loss_sums,
+                             spec_sha=self._spec_sha())
+            _atomic_write_text(
+                directory / LATEST_NAME,
+                json.dumps({"file": path.name,
+                            "global_step": self.cursor.global_step}) + "\n")
+            self._prune_checkpoints(directory, keep=path.name)
+        self._note({"event": "checkpoint",
+                    "global_step": self.cursor.global_step,
+                    "ms": (time.perf_counter() - started) * 1e3},
+                   flush=True)
         return path
 
     def _prune_checkpoints(self, directory: Path, keep: str) -> None:
@@ -507,6 +555,20 @@ class Runner:
         between scratch training and the fine-tune phase (inference
         only: a hook must not mutate training state).
         """
+        if not self.tracer.enabled:
+            return self._run(stop_after_steps, log_every, on_phase)
+        # While this run is active, its tracer doubles as the process
+        # default, so subsystems that trace via get_tracer() — the data
+        # loader and store, the eval runner — land their spans in the
+        # same trace.jsonl as the train.* spans.
+        previous = set_tracer(self.tracer)
+        try:
+            return self._run(stop_after_steps, log_every, on_phase)
+        finally:
+            set_tracer(previous)
+
+    def _run(self, stop_after_steps: int | None,
+             log_every: int | None, on_phase) -> RunResult:
         result = RunResult(status="completed", run_dir=self.run_dir,
                            global_step=self.cursor.global_step)
         if (stop_after_steps is not None
@@ -540,6 +602,9 @@ class Runner:
                              f"({phase.epochs} epoch(s), "
                              f"{phase.source.num_samples} samples)")
                 self._write_status("running", phase, start_epoch)
+                self._step_started = time.perf_counter()
+                self._epoch_steps = 0
+                self._epoch_step_ms = 0.0
                 loop = TrainLoop(
                     self.model,
                     on_step=self._make_step_hook(phase, stop_after_steps),
@@ -580,6 +645,7 @@ class Runner:
     def _finish(self, result: RunResult,
                 active: PhasePlan | None) -> RunResult:
         self._close_handles()
+        self.tracer.flush()
         result.global_step = self.cursor.global_step
         result.evals = list(self._evals)
         result.best_value = self.cursor.best_value
@@ -605,6 +671,24 @@ class Runner:
             cursor.global_step += 1
             cursor.loss_count = stats.count
             self._loss_sums = stats.sums
+            # Step wall time: batch fetch + train_step, measured as the
+            # interval since the previous hook fired (or the epoch
+            # boundary) on the same monotonic clock the loop uses.
+            now = time.perf_counter()
+            step_start = self._step_started
+            if step_start is not None:
+                step_ms = (now - step_start) * 1e3
+                self._epoch_steps += 1
+                self._epoch_step_ms += step_ms
+                self._note({"event": "step", "phase": phase.name,
+                            "epoch": epoch, "step": step, "ms": step_ms})
+                if self.tracer.enabled:
+                    start_ns = int(step_start * 1e9)
+                    self.tracer.complete(
+                        "train.step", start_ns,
+                        int(now * 1e9) - start_ns,
+                        phase=phase.name, epoch=epoch, step=step)
+            self._step_started = now
             self._append_line(LOSSES_NAME, {
                 "phase": phase.name, "epoch": epoch, "step": step,
                 "samples": weight,
@@ -640,6 +724,22 @@ class Runner:
                 "g_l1": float(averages[2]), "d_total": float(averages[3]),
             })
             cursor.loss_lines += 1
+            epoch_steps = self._epoch_steps
+            self._note({
+                "event": "epoch", "phase": phase.name, "epoch": epoch,
+                "steps": epoch_steps, "samples": count, "seconds": seconds,
+                "steps_per_sec": (epoch_steps / seconds if seconds > 0
+                                  else None),
+                "mean_step_ms": (self._epoch_step_ms / epoch_steps
+                                 if epoch_steps else None),
+            }, flush=True)
+            if self.tracer.enabled:
+                dur_ns = int(seconds * 1e9)
+                self.tracer.complete(
+                    "train.epoch", time.perf_counter_ns() - dur_ns, dur_ns,
+                    phase=phase.name, epoch=epoch, steps=epoch_steps)
+            self._epoch_steps = 0
+            self._epoch_step_ms = 0.0
             # The epoch is folded: position the cursor at the next
             # epoch's start before any eval/checkpoint captures it.
             cursor.epoch = epoch + 1
@@ -649,10 +749,18 @@ class Runner:
             phase.source.clear_epoch_snapshot()
             if (spec.eval is not None
                     and (epoch + 1) % spec.eval.every_epochs == 0):
-                record = self._eval_pass(phase, epoch)
+                eval_started = time.perf_counter()
+                with self.tracer.span("train.eval", phase=phase.name,
+                                      epoch=epoch):
+                    record = self._eval_pass(phase, epoch)
                 self._evals.append(record)
                 self._append_line(EVALS_NAME, record)
                 cursor.eval_lines += 1
+                self._note({"event": "eval", "phase": phase.name,
+                            "epoch": epoch,
+                            "num_samples": record["num_samples"],
+                            "ms": (time.perf_counter() - eval_started)
+                            * 1e3}, flush=True)
             # The final phase's last epoch is covered by the run-end
             # checkpoint; forcing one here would write the state twice.
             last_epoch = (epoch + 1 == phase.epochs
@@ -661,4 +769,7 @@ class Runner:
                 cursor.order_state = phase.source.order_state()
                 self._checkpoint()
             self._write_status("running", phase, epoch + 1, averages, count)
+            # Next epoch's first step is measured from here — epoch-end
+            # bookkeeping (eval, checkpoint, status) is its own timing.
+            self._step_started = time.perf_counter()
         return on_epoch

@@ -14,6 +14,10 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+# Telemetry artifact name is owned by repro.obs (also stdlib-only);
+# importing it keeps the single definition without pulling in numpy.
+from repro.obs.render import TELEMETRY_NAME
+
 SPEC_NAME = "spec.json"
 STATUS_NAME = "status.json"
 LOSSES_NAME = "losses.jsonl"
@@ -68,6 +72,7 @@ def read_run_status(run_dir: str | Path) -> dict:
     last_step, last_epoch = losses["step"], losses["epoch"]
     last_eval = evals["eval"]
     return {
+        "timing": _read_timing(run_dir),
         "run_dir": str(run_dir),
         "name": spec.get("name"),
         "spec": spec,
@@ -82,6 +87,33 @@ def read_run_status(run_dir: str | Path) -> dict:
         "last_epoch": last_epoch,
         "last_eval": last_eval,
     }
+
+
+def _read_timing(run_dir: Path) -> dict | None:
+    """The latest throughput numbers from ``telemetry.jsonl``.
+
+    Same backwards-scan discipline as the loss tails: the newest epoch
+    fold carries steps/sec and mean step ms, the newest step/eval events
+    the most recent raw durations.  Returns ``None`` when the run has no
+    telemetry (disabled, or an older run directory).
+    """
+    records = _tail_records(run_dir / TELEMETRY_NAME, {
+        "epoch": lambda doc: doc.get("event") == "epoch",
+        "step": lambda doc: doc.get("event") == "step",
+        "eval": lambda doc: doc.get("event") == "eval",
+    })
+    if all(record is None for record in records.values()):
+        return None
+    timing: dict = {}
+    epoch = records["epoch"]
+    if epoch is not None:
+        timing["steps_per_sec"] = epoch.get("steps_per_sec")
+        timing["mean_step_ms"] = epoch.get("mean_step_ms")
+    if records["step"] is not None:
+        timing["last_step_ms"] = records["step"].get("ms")
+    if records["eval"] is not None:
+        timing["eval_ms"] = records["eval"].get("ms")
+    return timing
 
 
 def _format_losses(record: dict | None) -> str:
@@ -104,6 +136,19 @@ def format_run_status(info: dict) -> str:
                  + (f", epochs {budget}" if budget else "") + ")")
     if info.get("elapsed_seconds") is not None:
         lines.append(f"  elapsed     {info['elapsed_seconds']:.1f}s")
+    timing = info.get("timing")
+    if timing:
+        parts = []
+        if timing.get("steps_per_sec") is not None:
+            parts.append(f"{timing['steps_per_sec']:.2f} steps/s")
+        if timing.get("mean_step_ms") is not None:
+            parts.append(f"mean step {timing['mean_step_ms']:.1f} ms")
+        elif timing.get("last_step_ms") is not None:
+            parts.append(f"last step {timing['last_step_ms']:.1f} ms")
+        if timing.get("eval_ms") is not None:
+            parts.append(f"eval {timing['eval_ms']:.0f} ms")
+        if parts:
+            lines.append("  timing      " + ", ".join(parts))
     last_epoch = info.get("last_epoch")
     if last_epoch is not None:
         lines.append(f"  last epoch  {last_epoch['phase']} "

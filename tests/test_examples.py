@@ -96,6 +96,19 @@ class TestExamples:
         assert (run_dir / "losses.jsonl").exists()
         assert (run_dir / "export" / "killed.npz").exists()
 
+    def test_obs_quickstart(self, tmp_path, out_dir):
+        result = run_example("obs_quickstart.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "steps/s" in result.stdout
+        assert "traceEvents" in result.stdout
+        assert "gemms" in result.stdout
+        assert "# TYPE serve_requests_total counter" in result.stdout
+        run_dir = out_dir / "obs" / "runs" / "demo"
+        assert (run_dir / "telemetry.jsonl").exists()
+        assert (run_dir / "trace.jsonl").exists()
+        assert (out_dir / "obs" / "trace_chrome.json").exists()
+        assert (out_dir / "obs" / "metrics.prom").exists()
+
     def test_packing_flow(self, tmp_path, out_dir):
         result = run_example("packing_flow.py", tmp_path)
         assert result.returncode == 0, result.stderr

@@ -1,0 +1,223 @@
+"""Metrics registry: kinds, bucket edges, determinism, Prometheus text."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_fn_backed_counter_is_collected_not_settable(self):
+        box = {"n": 7}
+        counter = Counter(fn=lambda: box["n"])
+        assert counter.value == 7
+        box["n"] = 9
+        assert counter.value == 9
+        with pytest.raises(RuntimeError, match="collected"):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 3
+
+    def test_set_to_max_ratchets(self):
+        gauge = Gauge()
+        gauge.set_to_max(5)
+        gauge.set_to_max(3)
+        assert gauge.value == 5
+
+    def test_fn_backed_gauge_rejects_writes(self):
+        gauge = Gauge(fn=lambda: 11)
+        assert gauge.value == 11
+        with pytest.raises(RuntimeError, match="collected"):
+            gauge.set(1)
+
+
+class TestHistogramBucketEdges:
+    """The le-semantics contract: a value equal to a bound lands IN it."""
+
+    def test_observation_on_bound_lands_in_that_bucket(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        histogram.observe(1.0)   # == first bound -> bucket "1"
+        histogram.observe(1.5)   # (1, 2] -> bucket "2"
+        histogram.observe(2.0)   # == second bound -> bucket "2"
+        histogram.observe(2.01)  # above all bounds -> +Inf
+        assert histogram.bucket_counts() == {"1": 1, "2": 2, "+Inf": 1}
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(6.51)
+
+    def test_integer_bounds_render_as_bare_ints(self):
+        histogram = Histogram(buckets=range(1, 4))
+        histogram.observe(3)
+        assert list(histogram.bucket_counts()) == ["1", "2", "3", "+Inf"]
+
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(buckets=())
+
+    def test_max_and_mean(self):
+        histogram = Histogram(buckets=(10.0,))
+        assert histogram.max_observed is None
+        assert histogram.mean == 0.0
+        histogram.observe(2.0)
+        histogram.observe(6.0)
+        assert histogram.max_observed == 6.0
+        assert histogram.mean == 4.0
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram(buckets=(1.0,)).quantile(0.5) == 0.0
+
+    def test_interpolates_within_owning_bucket(self):
+        histogram = Histogram(buckets=(0.0, 10.0))
+        for value in (2.0, 4.0, 6.0, 8.0):
+            histogram.observe(value)
+        # All 4 observations are in (0, 10]; p50 interpolates halfway.
+        assert histogram.quantile(0.5) == pytest.approx(5.0)
+
+    def test_quantile_clamped_by_observed_max(self):
+        histogram = Histogram(buckets=(0.0, 10.0))
+        histogram.observe(1.0)
+        assert histogram.quantile(0.99) <= 1.0
+
+    def test_overflow_bucket_returns_observed_max(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(50.0)
+        assert histogram.quantile(0.99) == 50.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0,)).quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits", "help")
+        second = registry.counter("hits")
+        assert first is second
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError, match="is a counter, not a gauge"):
+            registry.gauge("thing")
+
+    def test_labelname_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", labelnames=("route",))
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("reqs", labelnames=("method",))
+
+    def test_labeled_family_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("reqs", "by route",
+                                  labelnames=("route",))
+        family.labels(route="/b").inc(2)
+        family.labels(route="/a").inc()
+        assert family.labels(route="/b").value == 2
+        items = family.items()
+        assert [key for key, _ in items] == [("/a",), ("/b",)]  # sorted
+        with pytest.raises(ValueError, match="expects labels"):
+            family.labels(method="GET")
+
+    def test_snapshot_is_deterministic_json(self):
+        registry = MetricsRegistry()
+        registry.gauge("z_depth").set(3)
+        registry.counter("a_total").inc(2)
+        histogram = registry.histogram("latency", buckets=(0.5, 1.0))
+        histogram.observe(0.25)
+        first = json.dumps(registry.snapshot(), sort_keys=False)
+        second = json.dumps(registry.snapshot(), sort_keys=False)
+        assert first == second
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a_total", "latency", "z_depth"]
+        assert snapshot["latency"]["count"] == 1
+        assert set(snapshot["latency"]) == {
+            "buckets", "count", "sum", "mean", "max", "p50", "p99"}
+
+    def test_snapshot_renders_whole_numbers_as_ints(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(2)
+        assert registry.snapshot()["n"] == 2
+        assert isinstance(registry.snapshot()["n"], int)
+
+
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$")
+
+
+class TestPrometheusRendering:
+    def make_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("serve_requests_total", "Requests.").inc(3)
+        registry.gauge("queue_depth", "Depth.").set(2)
+        family = registry.counter("http_requests_total", "By route.",
+                                  labelnames=("route",))
+        family.labels(route="/v1/forecast").inc(5)
+        histogram = registry.histogram("latency_seconds", "Latency.",
+                                       buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        return registry
+
+    def test_every_line_is_comment_or_sample(self):
+        text = self.make_registry().render_prometheus()
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or SAMPLE_LINE.match(line), line
+
+    def test_help_and_type_headers(self):
+        text = self.make_registry().render_prometheus()
+        assert "# HELP serve_requests_total Requests." in text
+        assert "# TYPE serve_requests_total counter" in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "# TYPE latency_seconds histogram" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = self.make_registry().render_prometheus()
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_count 3" in text
+        assert "latency_seconds_sum 5.55" in text
+
+    def test_labeled_samples(self):
+        text = self.make_registry().render_prometheus()
+        assert 'http_requests_total{route="/v1/forecast"} 5' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("odd", labelnames=("name",))
+        family.labels(name='a"b\\c\nd').inc()
+        text = registry.render_prometheus()
+        assert '{name="a\\"b\\\\c\\nd"}' in text

@@ -1,0 +1,172 @@
+"""Span tracing: disabled identity, nesting, exception safety, export."""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    Tracer,
+    get_tracer,
+    read_spans,
+    set_tracer,
+    write_chrome_trace,
+)
+
+
+def spans_from(sink: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestDisabledTracer:
+    def test_disabled_tracer_reports_disabled(self):
+        assert Tracer(None).enabled is False
+
+    def test_span_is_the_shared_noop_singleton(self):
+        """The identity fast path: a disabled tracer allocates nothing —
+        every span() call returns the very same object."""
+        tracer = Tracer(None)
+        first = tracer.span("a", key="value")
+        second = tracer.span("b")
+        assert first is second
+        with first as span:
+            span.set(anything="goes")  # accepted and dropped
+
+    def test_complete_and_instant_are_noops(self):
+        tracer = Tracer(None)
+        tracer.complete("x", 0, 100)
+        tracer.instant("y")
+        tracer.flush()
+        tracer.close()
+
+    def test_default_tracer_is_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        previous = set_tracer(None)
+        try:
+            assert get_tracer().enabled is False
+            assert get_tracer() is get_tracer()
+        finally:
+            set_tracer(previous)
+
+    def test_set_tracer_swaps_and_returns_previous(self):
+        replacement = Tracer(None)
+        previous = set_tracer(replacement)
+        try:
+            assert get_tracer() is replacement
+        finally:
+            assert set_tracer(previous) is replacement
+
+
+class TestSpanRecords:
+    def test_span_emits_one_json_line(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("work", model="tiny"):
+            pass
+        (record,) = spans_from(sink)
+        assert record["name"] == "work"
+        assert record["args"] == {"model": "tiny"}
+        assert record["depth"] == 0
+        assert record["dur_us"] >= 0
+        assert record["tid"] == threading.get_ident()
+
+    def test_nesting_records_depth(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = spans_from(sink)  # inner closes (emits) first
+        assert inner["name"] == "inner" and inner["depth"] == 1
+        assert outer["name"] == "outer" and outer["depth"] == 0
+        # The outer span brackets the inner one.
+        assert outer["ts_us"] <= inner["ts_us"]
+        assert (outer["ts_us"] + outer["dur_us"]
+                >= inner["ts_us"] + inner["dur_us"])
+
+    def test_exception_closes_span_tags_error_and_propagates(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (record,) = spans_from(sink)
+        assert record["args"]["error"] == "ValueError"
+        # The stack unwound: the next span is top-level again.
+        with tracer.span("after"):
+            pass
+        assert spans_from(sink)[-1]["depth"] == 0
+
+    def test_set_attaches_args_mid_span(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("batch") as span:
+            span.set(size=4)
+        (record,) = spans_from(sink)
+        assert record["args"] == {"size": 4}
+
+    def test_complete_records_external_timing(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        tracer.complete("queue_wait", 1_000_000, 2_500_000, model="m")
+        (record,) = spans_from(sink)
+        assert record["dur_us"] == 2500
+        assert record["args"] == {"model": "m"}
+
+    def test_instant_has_zero_duration(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        tracer.instant("cache_hit")
+        (record,) = spans_from(sink)
+        assert record["dur_us"] == 0
+
+
+class TestFileSink:
+    def test_path_sink_appends_and_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path) as tracer:
+            with tracer.span("one"):
+                pass
+        with Tracer(path) as tracer:  # reopen: append, not truncate
+            with tracer.span("two"):
+                pass
+        spans = read_spans(path)
+        assert [span["name"] for span in spans] == ["one", "two"]
+
+    def test_flush_batching_defers_then_flush_forces(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path, flush_every=1000)
+        with tracer.span("buffered"):
+            pass
+        tracer.flush()
+        assert len(read_spans(path)) == 1
+        tracer.close()
+
+
+class TestChromeExport:
+    def test_export_loads_as_trace_event_json(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        out = tmp_path / "chrome.json"
+        with Tracer(trace) as tracer:
+            with tracer.span("step", epoch=0):
+                time.sleep(0.002)  # long enough that dur_us > 0
+            tracer.instant("marker")
+        count = write_chrome_trace(trace, out)
+        assert count == 2
+        document = json.loads(out.read_text())
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        events = {event["name"]: event for event in document["traceEvents"]}
+        step = events["step"]
+        assert step["ph"] == "X" and "dur" in step and "ts" in step
+        assert step["args"]["epoch"] == 0
+        marker = events["marker"]
+        assert marker["ph"] == "i" and marker["s"] == "t"
+
+    def test_export_accepts_span_list(self, tmp_path):
+        spans = [{"name": "a", "ts_us": 1, "dur_us": 5, "depth": 2}]
+        out = tmp_path / "chrome.json"
+        assert write_chrome_trace(spans, out) == 1
+        (event,) = json.loads(out.read_text())["traceEvents"]
+        assert event["args"]["depth"] == 2
