@@ -1,13 +1,16 @@
 """Observability overhead: the <3% no-perturbation budget, measured.
 
-Runs one tiny training workload twice — instrumentation fully off, then
-fully on (telemetry events + span tracing into the run directory) —
+Runs one tiny training workload three ways — instrumentation fully off,
+fully on (telemetry events + span tracing into the run directory), and
+fully on *plus* fleet publishing (a metrics registry counting steps and
+a background publisher snapshotting it to disk every second) —
 alternating repetitions and keeping the best wall time of each, and
-gates the instrumented/uninstrumented ratio at 3%.  The artifact-level
-guarantee (byte-identical checkpoints and logs) is pinned by
-``tests/test_obs_integration.py``; this bench pins the *time* side of
-the contract and micro-benches the disabled fast paths that make it
-cheap: the shared no-op span and a histogram observation.
+gates both the instrumented/uninstrumented and published/instrumented
+ratios at 3%.  The artifact-level guarantee (byte-identical checkpoints
+and logs) is pinned by ``tests/test_obs_integration.py``; this bench
+pins the *time* side of the contract and micro-benches the hot paths
+that make it cheap: the disabled no-op span, a histogram observation,
+an atomic snapshot publish, and a 4-worker exact merge.
 """
 
 import time
@@ -17,7 +20,15 @@ from conftest import write_result
 from reporting import entry, write_bench_json
 
 from repro.gan import Dataset, Sample
-from repro.obs import Histogram, Tracer
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    TELEMETRY_DIR,
+    TelemetryPublisher,
+    Tracer,
+    aggregate_snapshots,
+    write_snapshot,
+)
 from repro.train import EvalSpec, Runner, TrainSpec
 
 #: Instrumented wall time may exceed uninstrumented by at most this.
@@ -42,19 +53,68 @@ def _dataset() -> Dataset:
     return Dataset(samples)
 
 
-def _timed_run(root, name: str, dataset: Dataset,
-               instrumented: bool) -> tuple[float, int]:
+def _timed_run(root, name: str, dataset: Dataset, instrumented: bool,
+               publish: bool = False) -> tuple[float, int]:
     spec = TrainSpec(name=name, data="inline", scale="smoke", seed=5,
                      epochs=EPOCHS, order="shuffle",
                      model={"base_filters": 4, "disc_filters": 4},
                      eval=EvalSpec(every_epochs=1))
+    metrics = MetricsRegistry() if publish else None
     runner = Runner.create(spec, root, dataset=dataset,
-                           telemetry=instrumented, trace=instrumented)
+                           telemetry=instrumented, trace=instrumented,
+                           metrics=metrics)
+    publisher = None
+    if publish:
+        publisher = TelemetryPublisher(
+            metrics, root / TELEMETRY_DIR, role="sweep", worker=name,
+            interval=1.0)
+        publisher.start()
     start = time.perf_counter()
     result = runner.run()
     elapsed = time.perf_counter() - start
+    if publisher is not None:
+        publisher.stop()
     assert result.completed
     return elapsed, result.global_step
+
+
+def _fleet_exports(workers: int = 4):
+    """Realistically-sized worker exports: labels + a busy histogram."""
+    docs = []
+    for index in range(workers):
+        registry = MetricsRegistry()
+        requests = registry.counter("serve_requests_total")
+        routes = registry.counter("http_requests_total",
+                                  labelnames=("route",))
+        latency = registry.histogram(
+            "serve_request_latency_seconds",
+            buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0))
+        for sample in range(500):
+            requests.inc()
+            routes.labels(route=f"/r{sample % 4}").inc()
+            latency.observe(0.001 * (sample % 90))
+        registry.gauge("serve_queue_depth", agg="sum").set(float(index))
+        docs.append({"role": "sweep", "worker": f"w{index}",
+                     "families": registry.export()})
+    return docs
+
+
+def _publish_ns(tmp_path, calls: int = 200) -> float:
+    registry = MetricsRegistry()
+    registry.counter("n").inc(3)
+    registry.histogram("h", buckets=(1.0, 5.0)).observe(2.0)
+    start = time.perf_counter_ns()
+    for _ in range(calls):
+        write_snapshot(registry, tmp_path, "serve", "bench")
+    return (time.perf_counter_ns() - start) / calls
+
+
+def _aggregate_ns(calls: int = 50) -> float:
+    docs = _fleet_exports(4)
+    start = time.perf_counter_ns()
+    for _ in range(calls):
+        aggregate_snapshots(docs)
+    return (time.perf_counter_ns() - start) / calls
 
 
 def _disabled_span_ns(calls: int = 200_000) -> float:
@@ -78,21 +138,25 @@ def _observe_ns(calls: int = 200_000) -> float:
 
 def test_obs_overhead(tmp_path, scale):
     dataset = _dataset()
-    walls = {False: [], True: []}
+    walls = {"off": [], "on": [], "fleet": []}
     steps = 0
     for repeat in range(REPEATS):
-        for instrumented in (False, True):
-            tag = "on" if instrumented else "off"
+        for tag in ("off", "on", "fleet"):
             elapsed, steps = _timed_run(
                 tmp_path / f"{tag}-{repeat}", f"bench-{tag}",
-                dataset, instrumented)
-            walls[instrumented].append(elapsed)
-    best_off = min(walls[False])
-    best_on = min(walls[True])
+                dataset, instrumented=tag != "off",
+                publish=tag == "fleet")
+            walls[tag].append(elapsed)
+    best_off = min(walls["off"])
+    best_on = min(walls["on"])
+    best_fleet = min(walls["fleet"])
     overhead = best_on / best_off - 1.0
+    publish_overhead = best_fleet / best_on - 1.0
 
     span_ns = _disabled_span_ns()
     observe_ns = _observe_ns()
+    publish_ns = _publish_ns(tmp_path / "publish")
+    aggregate_ns = _aggregate_ns()
 
     lines = [
         f"Observability overhead (scale={scale.name}, {SAMPLES} samples "
@@ -101,8 +165,12 @@ def test_obs_overhead(tmp_path, scale):
         f"({steps / best_off:6.1f} steps/s)",
         f"  instrumented run:   {best_on:8.3f} s  "
         f"(telemetry + tracing, overhead {overhead:+.2%})",
+        f"  + fleet publishing: {best_fleet:8.3f} s  "
+        f"(registry + snapshots, overhead {publish_overhead:+.2%})",
         f"  disabled span():    {span_ns:8.0f} ns/call (no-op singleton)",
         f"  histogram observe:  {observe_ns:8.0f} ns/call",
+        f"  snapshot publish:   {publish_ns:8.0f} ns/call (atomic write)",
+        f"  4-worker merge:     {aggregate_ns:8.0f} ns/call (exact)",
     ]
     write_result("obs", lines)
 
@@ -112,15 +180,26 @@ def test_obs_overhead(tmp_path, scale):
         entry("obs_train_instrumented", shape=[SAMPLES, 4, SIZE, SIZE],
               wall_time_s=best_on, throughput=steps / best_on,
               overhead_fraction=round(overhead, 4)),
+        entry("obs_train_fleet_published", shape=[SAMPLES, 4, SIZE, SIZE],
+              wall_time_s=best_fleet, throughput=steps / best_fleet,
+              overhead_fraction=round(publish_overhead, 4)),
         entry("obs_disabled_span", wall_time_s=span_ns / 1e9,
               throughput=1e9 / span_ns),
         entry("obs_histogram_observe", wall_time_s=observe_ns / 1e9,
               throughput=1e9 / observe_ns),
+        entry("obs_snapshot_publish", wall_time_s=publish_ns / 1e9,
+              throughput=1e9 / publish_ns),
+        entry("obs_aggregate_4workers", wall_time_s=aggregate_ns / 1e9,
+              throughput=1e9 / aggregate_ns),
     ]
     write_bench_json("obs", entries, scale.name)
 
     # The budget: full instrumentation must stay within MAX_OVERHEAD of
-    # the uninstrumented wall time on the best-of-N comparison.
+    # the uninstrumented wall time on the best-of-N comparison, and
+    # fleet publishing within MAX_OVERHEAD of plain instrumentation.
     assert overhead < MAX_OVERHEAD, (
         f"observability overhead {overhead:.2%} exceeds "
         f"{MAX_OVERHEAD:.0%} budget ({best_on:.3f}s vs {best_off:.3f}s)")
+    assert publish_overhead < MAX_OVERHEAD, (
+        f"fleet publish overhead {publish_overhead:.2%} exceeds "
+        f"{MAX_OVERHEAD:.0%} budget ({best_fleet:.3f}s vs {best_on:.3f}s)")

@@ -168,6 +168,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="forecast LRU capacity (0 disables caching)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
+    serve.add_argument("--obs-dir", type=Path, default=None,
+                       help="fleet observability directory: publish "
+                            "telemetry snapshots (and alerts.jsonl) here "
+                            "for `repro obs agg/top`")
+    serve.add_argument("--alert-rules", type=Path, default=None,
+                       help="JSON alert rules evaluated against the live "
+                            "registry (see repro.obs.alerts)")
+    serve.add_argument("--publish-interval", type=float, default=2.0,
+                       help="seconds between telemetry publishes "
+                            "(with --obs-dir)")
 
     data = commands.add_parser(
         "data", help="sharded dataset store: build/merge/stats/verify")
@@ -292,6 +302,40 @@ def build_parser() -> argparse.ArgumentParser:
     obs_trace.add_argument("--chrome", type=Path, default=None,
                            help="write Chrome trace_event JSON here "
                                 "instead of printing the summary")
+
+    obs_agg = obs_commands.add_parser(
+        "agg", help="merge a telemetry directory's worker snapshots")
+    obs_agg.add_argument("directory", type=Path,
+                         help="a telemetry/ directory, or a parent "
+                              "holding one (sweep root, serve obs dir)")
+    obs_agg.add_argument("--json", action="store_true",
+                         help="emit the merged registry snapshot as JSON "
+                              "instead of Prometheus text")
+    obs_agg.add_argument("--per-worker", action="store_true",
+                         help="keep a worker label on every series "
+                              "instead of merging them away")
+
+    obs_top = obs_commands.add_parser(
+        "top", help="live fleet dashboard over a telemetry directory "
+                    "or serve URL")
+    obs_top.add_argument("target",
+                         help="telemetry directory (sweep root / serve "
+                              "obs dir) or a serve base URL")
+    obs_top.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between polls (default 2)")
+    obs_top.add_argument("--frames", type=int, default=None,
+                         help="render N frames then exit "
+                              "(default: run until interrupted)")
+    obs_top.add_argument("--window", type=float, default=30.0,
+                         help="rate window in seconds (default 30)")
+
+    obs_alerts = obs_commands.add_parser(
+        "alerts", help="show alert transitions and what is firing now")
+    obs_alerts.add_argument("path", type=Path,
+                            help="an alerts.jsonl path, or a directory "
+                                 "holding one")
+    obs_alerts.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON")
 
     return parser
 
@@ -509,15 +553,35 @@ def cmd_serve(args) -> int:
     except (FileNotFoundError, ValueError) as error:
         raise SystemExit(f"error: {error}") from None
     cache = ForecastCache(args.cache_size) if args.cache_size else None
+    # Drift monitoring switches on per model when training left a
+    # reference profile (<stem>-reference.json) next to its checkpoint.
+    from repro.obs.drift import DriftMonitor, ReferenceProfile
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    drift = None
+    for model_id in registry.model_ids:
+        reference = Path(args.checkpoints) / f"{model_id}-reference.json"
+        if reference.exists():
+            if drift is None:
+                drift = DriftMonitor(metrics=metrics)
+            drift.set_reference(model_id, ReferenceProfile.load(reference))
+            print(f"[drift] reference profile loaded for {model_id}")
     engine = BatchingEngine(registry, max_batch=args.max_batch,
-                            max_wait_ms=args.max_wait_ms, cache=cache)
+                            max_wait_ms=args.max_wait_ms, cache=cache,
+                            metrics=metrics, drift=drift)
     server = ForecastServer(engine, host=args.host, port=args.port,
-                            verbose=args.verbose)
+                            verbose=args.verbose, obs_dir=args.obs_dir,
+                            alert_rules=args.alert_rules,
+                            publish_interval=args.publish_interval)
     with server:
         print(f"serving {len(registry)} model(s) on {server.url} "
               f"(max_batch={args.max_batch}, "
               f"max_wait_ms={args.max_wait_ms}, "
               f"cache={args.cache_size})", flush=True)
+        if args.obs_dir is not None:
+            print(f"[obs] publishing telemetry to {args.obs_dir} "
+                  f"every {args.publish_interval}s", flush=True)
         try:
             while True:
                 time.sleep(3600)
@@ -776,6 +840,60 @@ def cmd_obs(args) -> int:
         if not spans:
             raise SystemExit(f"error: trace {path} is empty")
         print(format_span_summary(summarize_spans(spans)))
+        return 0
+
+    if args.obs_command == "agg":
+        from repro.obs.aggregate import aggregate_dir
+
+        fleet = aggregate_dir(args.directory)
+        if not fleet.snapshots:
+            raise SystemExit(f"error: no telemetry snapshots under "
+                             f"{args.directory}")
+        if args.json:
+            registry = (fleet.worker_registry() if args.per_worker
+                        else fleet.registry())
+            print(json_module.dumps(
+                {"workers": fleet.workers,
+                 "merged": registry.snapshot()},
+                indent=1, sort_keys=True))
+        else:
+            print(fleet.render_prometheus(per_worker=args.per_worker),
+                  end="")
+        return 0
+
+    if args.obs_command == "top":
+        from repro.obs.dashboard import make_source, run_top
+
+        run_top(make_source(args.target), interval=args.interval,
+                frames=args.frames, window=args.window)
+        return 0
+
+    if args.obs_command == "alerts":
+        from repro.obs.alerts import ALERTS_NAME, read_alert_log
+        from repro.obs.dashboard import firing_from_log
+
+        path = _resolve(args.path, ALERTS_NAME)
+        events, skipped = read_alert_log(path)
+        if not events and not path.exists():
+            raise SystemExit(f"error: no alert log at {path}")
+        firing = firing_from_log(events)
+        if args.json:
+            print(json_module.dumps(
+                {"events": events, "firing": firing,
+                 "skipped_lines": skipped},
+                indent=1, sort_keys=True))
+            return 0
+        for event in events:
+            stamp = time.strftime(
+                "%H:%M:%S", time.localtime(event.get("at_unix", 0)))
+            print(f"{stamp}  {event.get('state', '?'):<9} "
+                  f"{event.get('rule', '?'):<28} "
+                  f"{event.get('condition', '')} "
+                  f"(value {event.get('value')})")
+        if skipped:
+            print(f"[{skipped} unparseable line(s) skipped]")
+        print(f"firing now: "
+              f"{', '.join(e['rule'] for e in firing) if firing else 'none'}")
         return 0
 
     raise SystemExit(f"error: unknown obs command {args.obs_command!r}")

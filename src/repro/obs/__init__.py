@@ -16,10 +16,42 @@ numpy, so status/obs CLI paths stay usable on bare hosts):
   gemm counts for ``repro.nn`` models via detachable method shims;
   when detached the model runs its original, unwrapped methods.
 
+Fleet telemetry extends the metrics pillar across processes:
+
+* :mod:`repro.obs.publish` — workers atomically publish registry
+  snapshots as ``telemetry/<role>-<worker>.json``
+  (:class:`TelemetryPublisher`);
+* :mod:`repro.obs.aggregate` — N snapshots merge into one logical
+  registry with exact semantics (:func:`aggregate_dir`,
+  :class:`FleetSnapshot`);
+* :mod:`repro.obs.timeseries` — a bounded ring store over flattened
+  snapshots powering rate/delta queries and ``repro obs top``
+  (:mod:`repro.obs.dashboard`);
+* :mod:`repro.obs.alerts` — declarative JSON threshold rules emitting
+  ``alerts.jsonl`` (:class:`AlertManager`);
+* :mod:`repro.obs.drift` — serve-side forecast-quality monitors
+  (hotspot-score shift, input novelty, sampled NRMS).  Drift needs
+  numpy and is deliberately **not** imported here.
+
 The guarantee carried by the whole package: instrumentation observes,
 it never perturbs — instrumented and uninstrumented runs produce
 byte-identical artifacts (checked by ``tests/test_obs_integration.py``).
 """
+
+from repro.obs.aggregate import (
+    FleetSnapshot,
+    aggregate_dir,
+    aggregate_snapshots,
+    merge_exports,
+    registry_from_export,
+)
+from repro.obs.alerts import (
+    ALERTS_NAME,
+    AlertManager,
+    AlertRule,
+    load_rules,
+    read_alert_log,
+)
 
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
@@ -29,6 +61,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profile import Profiler
+from repro.obs.publish import (
+    TELEMETRY_DIR,
+    TelemetryPublisher,
+    discover_snapshots,
+    read_snapshot,
+    write_snapshot,
+)
 from repro.obs.render import (
     TELEMETRY_NAME,
     TRACE_NAME,
@@ -40,6 +79,7 @@ from repro.obs.render import (
     summarize_telemetry,
     tail_telemetry,
 )
+from repro.obs.timeseries import TimeSeriesStore, flatten_export
 from repro.obs.trace import (
     Tracer,
     get_tracer,
@@ -49,24 +89,41 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "ALERTS_NAME",
+    "AlertManager",
+    "AlertRule",
     "DEFAULT_TIME_BUCKETS",
     "Counter",
+    "FleetSnapshot",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Profiler",
+    "TELEMETRY_DIR",
     "TELEMETRY_NAME",
     "TRACE_NAME",
+    "TelemetryPublisher",
+    "TimeSeriesStore",
     "Tracer",
+    "aggregate_dir",
+    "aggregate_snapshots",
+    "discover_snapshots",
+    "flatten_export",
     "format_span_summary",
     "format_telemetry_record",
     "format_telemetry_summary",
     "get_tracer",
+    "load_rules",
+    "merge_exports",
+    "read_alert_log",
+    "read_snapshot",
     "read_spans",
     "read_telemetry",
+    "registry_from_export",
     "set_tracer",
     "summarize_spans",
     "summarize_telemetry",
     "tail_telemetry",
     "write_chrome_trace",
+    "write_snapshot",
 ]

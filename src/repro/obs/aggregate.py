@@ -1,0 +1,246 @@
+"""Merge N worker telemetry snapshots into one logical registry.
+
+The aggregation contract is *exactness*: merging the exports of N
+registries produces the same state as one registry that observed every
+sample itself —
+
+* **counters** sum;
+* **gauges** merge by their declared policy (``sum`` / ``max`` /
+  ``last``, where ``last`` deterministically takes the value of the
+  last worker in sorted ``(role, worker)`` order);
+* **histograms** merge bucket-by-bucket (exact integer per-bucket
+  counts add, ``count`` adds, ``sum`` adds, ``min``/``max`` take the
+  extremes) — every derived quantity (cumulative Prometheus buckets,
+  quantiles via the shared interpolation rule) is then computed from
+  exact merged state, never re-estimated.
+
+Because inputs are sorted before merging, the result is invariant to
+worker count and to the order snapshots are discovered in: 1 publisher
+or 4, shuffled or not, the merged snapshot is identical as long as the
+same observations were made.  (Histogram/counter float sums are added
+in sorted worker order, so the merge itself is deterministic; they are
+bitwise-equal to a serial registry whenever the partial sums are exact
+in float arithmetic, e.g. integer-valued observations.)
+
+The merged result is materialized as a *live*
+:class:`~repro.obs.metrics.MetricsRegistry`, so rendering (Prometheus
+text, JSON snapshot) is the registry's own — one code path whether the
+numbers came from one process or fifty.  Per-worker drill-down is
+retained: :meth:`FleetSnapshot.worker_registry` rebuilds the same
+families with a ``worker`` label on every child.  Stdlib-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.publish import TELEMETRY_DIR, discover_snapshots
+
+#: Label added to every child when rendering per-worker drill-down.
+WORKER_LABEL = "worker"
+
+
+def _merge_histogram(target: dict | None, state: dict,
+                     bounds: list) -> dict:
+    if target is None:
+        return {
+            "bounds": list(bounds),
+            "counts": list(state["counts"]),
+            "sum": state["sum"],
+            "count": state["count"],
+            "min": state["min"],
+            "max": state["max"],
+        }
+    if list(bounds) != target["bounds"]:
+        raise ValueError(f"histogram bucket bounds differ across workers: "
+                         f"{target['bounds']} vs {list(bounds)}")
+    target["counts"] = [a + b for a, b
+                        in zip(target["counts"], state["counts"])]
+    target["sum"] += state["sum"]
+    target["count"] += state["count"]
+    for name, pick in (("min", min), ("max", max)):
+        ours, theirs = target[name], state[name]
+        if ours is None:
+            target[name] = theirs
+        elif theirs is not None:
+            target[name] = pick(ours, theirs)
+    return target
+
+
+def merge_exports(exports: list[tuple[str, dict]]) -> dict:
+    """Merge ``(worker, families-export)`` pairs into one families doc.
+
+    Inputs are sorted by worker id first, so the merge is invariant to
+    the order they were collected in.  The merged document has the same
+    shape as :meth:`MetricsRegistry.export` except that histogram
+    children carry their resolved ``bounds`` inline.
+    """
+    merged: dict = {}
+    for worker, families in sorted(exports, key=lambda pair: pair[0]):
+        for name, family in families.items():
+            kind = family["kind"]
+            target = merged.get(name)
+            if target is None:
+                target = merged[name] = {
+                    "kind": kind,
+                    "help": family.get("help", ""),
+                    "labelnames": list(family.get("labelnames", ())),
+                    "children": {},
+                }
+                if kind == "gauge":
+                    target["agg"] = family.get("agg", "last")
+                if kind == "histogram":
+                    target["bounds"] = list(family.get("bounds", ()))
+            elif target["kind"] != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {target['kind']} on one worker "
+                    f"and a {kind} on another")
+            elif target["labelnames"] != list(family.get("labelnames", ())):
+                raise ValueError(
+                    f"metric {name!r} has labels {target['labelnames']} on "
+                    f"one worker, {family.get('labelnames')} on another")
+            children = target["children"]
+            for label_values, state in family.get("children", ()):
+                key = tuple(label_values)
+                if kind == "counter":
+                    children[key] = children.get(key, 0) + state
+                elif kind == "gauge":
+                    policy = target.get("agg", "last")
+                    if key not in children or policy == "last":
+                        children[key] = state
+                    elif policy == "sum":
+                        children[key] = children[key] + state
+                    else:   # max
+                        children[key] = max(children[key], state)
+                else:
+                    children[key] = _merge_histogram(
+                        children.get(key), state, family.get("bounds", ()))
+    # Normalize to the export shape: sorted [label-values, state] pairs.
+    for family in merged.values():
+        family["children"] = [[list(key), value] for key, value
+                              in sorted(family["children"].items())]
+    return merged
+
+
+def registry_from_export(families: dict,
+                         extra_label: tuple[str, str] | None = None
+                         ) -> MetricsRegistry:
+    """Materialize an export (or a merged one) as a live registry.
+
+    ``extra_label`` appends one ``(name, value)`` label to every child —
+    the per-worker drill-down path tags each worker's families with
+    ``worker=<id>`` before pouring them into a shared registry.
+    """
+    registry = MetricsRegistry()
+    for name, family in families.items():
+        kind = family["kind"]
+        labelnames = list(family.get("labelnames", ()))
+        if extra_label is not None:
+            labelnames = labelnames + [extra_label[0]]
+        bounds = family.get("bounds") or None
+        for label_values, state in family.get("children", ()):
+            values = list(label_values)
+            if extra_label is not None:
+                values = values + [extra_label[1]]
+            if kind == "counter":
+                metric = registry.counter(name, family.get("help", ""),
+                                          labelnames=labelnames)
+            elif kind == "gauge":
+                metric = registry.gauge(name, family.get("help", ""),
+                                        labelnames=labelnames,
+                                        agg=family.get("agg", "last"))
+            else:
+                child_bounds = bounds
+                if child_bounds is None and isinstance(state, dict):
+                    child_bounds = list(range(1, len(state["counts"])))
+                metric = registry.histogram(name, family.get("help", ""),
+                                            buckets=child_bounds,
+                                            labelnames=labelnames)
+            if labelnames:
+                metric = metric.labels(**dict(zip(labelnames, values)))
+            if kind == "histogram":
+                metric._restore(state["counts"], state["count"],
+                                state["sum"], state["min"], state["max"])
+            else:
+                metric._restore(state)
+        # Labeled families with no children yet still register, so their
+        # HELP/TYPE headers render (an unlabeled family always has its
+        # anonymous child and never lands here).
+        if not family.get("children") and labelnames:
+            if kind == "counter":
+                registry.counter(name, family.get("help", ""),
+                                 labelnames=labelnames)
+            elif kind == "gauge":
+                registry.gauge(name, family.get("help", ""),
+                               labelnames=labelnames,
+                               agg=family.get("agg", "last"))
+            else:
+                registry.histogram(name, family.get("help", ""),
+                                   buckets=bounds or (1.0,),
+                                   labelnames=labelnames)
+    return registry
+
+
+@dataclass
+class FleetSnapshot:
+    """The merged view of one telemetry directory poll."""
+
+    snapshots: list[dict] = field(default_factory=list)
+    merged: dict = field(default_factory=dict)
+
+    @property
+    def workers(self) -> list[str]:
+        return [f"{doc.get('role', '?')}-{doc.get('worker', '?')}"
+                for doc in self.snapshots]
+
+    def registry(self) -> MetricsRegistry:
+        """A live registry holding the exact merged state."""
+        return registry_from_export(self.merged)
+
+    def worker_registry(self) -> MetricsRegistry:
+        """One registry with every child tagged ``worker=<role>-<id>``."""
+        registry = MetricsRegistry()
+        for doc in self.snapshots:
+            worker = f"{doc.get('role', '?')}-{doc.get('worker', '?')}"
+            partial = registry_from_export(
+                doc["families"], extra_label=(WORKER_LABEL, worker))
+            _pour(partial, registry)
+        return registry
+
+    def render_prometheus(self, per_worker: bool = False) -> str:
+        """Prometheus text of the merged state (or worker drill-down)."""
+        registry = self.worker_registry() if per_worker else self.registry()
+        return registry.render_prometheus()
+
+
+def _pour(source: MetricsRegistry, target: MetricsRegistry) -> None:
+    """Move every family of ``source`` into ``target`` (used to combine
+    per-worker labeled registries; names never collide on state because
+    each child carries its unique worker label)."""
+    merged = merge_exports([("", target.export()), ("", source.export())])
+    rebuilt = registry_from_export(merged)
+    target._families = rebuilt._families
+
+
+def aggregate_snapshots(snapshots: list[dict]) -> FleetSnapshot:
+    """Merge snapshot documents (see :mod:`repro.obs.publish`)."""
+    ordered = sorted(snapshots, key=lambda doc: (doc.get("role", ""),
+                                                 doc.get("worker", "")))
+    merged = merge_exports([
+        (f"{doc.get('role', '')}-{doc.get('worker', '')}", doc["families"])
+        for doc in ordered])
+    return FleetSnapshot(snapshots=ordered, merged=merged)
+
+
+def aggregate_dir(directory: str | Path) -> FleetSnapshot:
+    """Poll a telemetry directory and merge whatever workers are live.
+
+    Accepts the telemetry directory itself, or a parent containing a
+    ``telemetry/`` subdirectory (a sweep root, a serve obs dir).
+    """
+    directory = Path(directory)
+    if (directory / TELEMETRY_DIR).is_dir():
+        directory = directory / TELEMETRY_DIR
+    return aggregate_snapshots(discover_snapshots(directory))

@@ -1,0 +1,325 @@
+"""``repro obs top`` — a live ANSI dashboard over a telemetry source.
+
+Two sources feed the same renderer:
+
+* :class:`DirectorySource` polls a telemetry directory (a sweep root or
+  a serve ``--obs-dir``) through :func:`repro.obs.aggregate.aggregate_dir`
+  and reads firing alerts from the sibling ``alerts.jsonl``;
+* :class:`HttpSource` polls a running serve host's ``GET /telemetry``
+  and ``GET /alerts`` endpoints.
+
+Each poll flattens the merged fleet export into scalar series
+(:func:`repro.obs.timeseries.flatten_export`), feeds a bounded
+:class:`~repro.obs.timeseries.TimeSeriesStore` (so rates are real
+deltas over the window, not lifetime averages), and renders one frame:
+request rate, latency p50/p99, cache hit rate, queue depth, per-worker
+training step/s, firing alerts, and the busiest remaining series.
+
+The renderer is a pure function of the dashboard state — tests call
+:meth:`Dashboard.frame` directly and drive ``--frames 1``; only
+:func:`run_top` touches the terminal.  Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.aggregate import FleetSnapshot, aggregate_dir
+from repro.obs.alerts import ALERTS_NAME, read_alert_log
+from repro.obs.publish import TELEMETRY_DIR
+from repro.obs.timeseries import TimeSeriesStore, flatten_export
+
+#: ANSI fragments used when color is on.
+_CSI = "\x1b["
+_RESET = f"{_CSI}0m"
+_BOLD = f"{_CSI}1m"
+_DIM = f"{_CSI}2m"
+_RED = f"{_CSI}31m"
+_GREEN = f"{_CSI}32m"
+_YELLOW = f"{_CSI}33m"
+
+#: Series given dedicated dashboard rows (everything else is generic).
+_KNOWN_PREFIXES = (
+    "serve_requests_total", "serve_request_latency_seconds",
+    "serve_cache_hit_ratio", "serve_queue_depth", "serve_batch_occupancy",
+    "serve_drift_", "train_steps_total", "obs_alert_firing",
+)
+
+
+@dataclass
+class FleetPoll:
+    """One poll of a telemetry source."""
+
+    fleet: FleetSnapshot
+    alerts: list[dict] = field(default_factory=list)
+    target: str = ""
+
+
+def firing_from_log(events: list[dict]) -> list[dict]:
+    """Currently-firing alerts implied by an ``alerts.jsonl`` history
+    (the last transition per rule wins)."""
+    last: dict[str, dict] = {}
+    for event in events:
+        rule = event.get("rule")
+        if rule:
+            last[rule] = event
+    return [event for _, event in sorted(last.items())
+            if event.get("state") == "firing"]
+
+
+class DirectorySource:
+    """Aggregate a telemetry directory (sweep root, serve obs dir)."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.target = str(self.directory)
+
+    def _alerts(self) -> list[dict]:
+        base = self.directory
+        candidates = [base / ALERTS_NAME]
+        if base.name == TELEMETRY_DIR:
+            candidates.append(base.parent / ALERTS_NAME)
+        else:
+            candidates.append(base / TELEMETRY_DIR / ALERTS_NAME)
+        for path in candidates:
+            if path.exists():
+                events, _ = read_alert_log(path)
+                return firing_from_log(events)
+        return []
+
+    def poll(self) -> FleetPoll:
+        return FleetPoll(fleet=aggregate_dir(self.directory),
+                         alerts=self._alerts(), target=self.target)
+
+
+class HttpSource:
+    """Poll a running serve host (``GET /telemetry`` + ``GET /alerts``)."""
+
+    def __init__(self, url: str, timeout: float = 5.0):
+        self.base = url.rstrip("/")
+        if "://" not in self.base:
+            self.base = f"http://{self.base}"
+        self.timeout = timeout
+        self.target = self.base
+
+    def _get(self, route: str):
+        with urllib.request.urlopen(f"{self.base}{route}",
+                                    timeout=self.timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def poll(self) -> FleetPoll:
+        document = self._get("/telemetry")
+        snapshot = {"role": document.get("role", "serve"),
+                    "worker": document.get("worker", "0"),
+                    "families": document["families"]}
+        from repro.obs.aggregate import aggregate_snapshots
+        try:
+            alerts = self._get("/alerts").get("active", [])
+        except (urllib.error.URLError, OSError, ValueError):
+            alerts = []
+        return FleetPoll(fleet=aggregate_snapshots([snapshot]),
+                         alerts=alerts, target=self.base)
+
+
+class Dashboard:
+    """Rolling state + frame renderer for ``repro obs top``."""
+
+    def __init__(self, source, window: float = 30.0,
+                 capacity: int = 600, color: bool = False):
+        self.source = source
+        self.window = window
+        self.color = color
+        self.store = TimeSeriesStore(capacity=capacity)
+        self.worker_store = TimeSeriesStore(capacity=capacity)
+        self.samples = 0
+        self.last_poll: FleetPoll | None = None
+
+    # -- polling ------------------------------------------------------------
+
+    def tick(self, now: float | None = None) -> FleetPoll:
+        """Poll the source once and fold it into the ring stores."""
+        now = time.time() if now is None else now
+        poll = self.source.poll()
+        self.store.record(now, flatten_export(poll.fleet.merged))
+        for doc in poll.fleet.snapshots:
+            worker = f"{doc.get('role', '?')}-{doc.get('worker', '?')}"
+            flat = flatten_export(doc["families"])
+            self.worker_store.record(
+                now, {f"{worker}/{name}": value
+                      for name, value in flat.items()})
+        self.samples += 1
+        self.last_poll = poll
+        return poll
+
+    # -- rendering ----------------------------------------------------------
+
+    def _paint(self, text: str, *codes: str) -> str:
+        if not self.color or not codes:
+            return text
+        return "".join(codes) + text + _RESET
+
+    def _fmt(self, value: float | None, unit: str = "") -> str:
+        if value is None:
+            return "-"
+        if unit == "ms":
+            return f"{value * 1e3:.1f}ms"
+        if unit == "%":
+            return f"{value * 100:.1f}%"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}{unit}"
+        return f"{value:.3g}{unit}"
+
+    def frame(self, now: float | None = None) -> str:
+        """One rendered dashboard frame (no cursor control; plain text
+        unless ``color``)."""
+        now = time.time() if now is None else now
+        poll = self.last_poll
+        lines: list[str] = []
+        stamp = time.strftime("%H:%M:%S", time.localtime(now))
+        target = poll.target if poll else "?"
+        workers = poll.fleet.workers if poll else []
+        lines.append(self._paint(
+            f"repro obs top — {target}", _BOLD)
+            + f"   {stamp}   workers: {len(workers)}"
+            f"   samples: {self.samples}")
+        lines.append("")
+        lines.extend(self._alert_lines(poll))
+        lines.extend(self._serve_lines())
+        lines.extend(self._worker_lines(workers))
+        lines.extend(self._series_lines())
+        return "\n".join(lines) + "\n"
+
+    def _alert_lines(self, poll: FleetPoll | None) -> list[str]:
+        alerts = poll.alerts if poll else []
+        if not alerts:
+            return [self._paint("alerts: none firing", _DIM), ""]
+        lines = [self._paint(f"ALERTS FIRING ({len(alerts)})",
+                             _BOLD, _RED)]
+        for alert in alerts:
+            value = alert.get("value")
+            shown = f"{value:.4g}" if isinstance(value, (int, float)) \
+                else "-"
+            lines.append(self._paint(
+                f"  !! {alert.get('rule', '?')} "
+                f"[{alert.get('severity', '?')}] "
+                f"{alert.get('condition', '')} (value {shown}) "
+                f"{alert.get('message', '')}".rstrip(), _RED))
+        lines.append("")
+        return lines
+
+    def _serve_lines(self) -> list[str]:
+        store = self.store
+        rps = store.rate("serve_requests_total", self.window)
+        p50 = store.latest("serve_request_latency_seconds.p50")
+        p99 = store.latest("serve_request_latency_seconds.p99")
+        hit = store.latest("serve_cache_hit_ratio")
+        depth = store.latest("serve_queue_depth")
+        occupancy = store.latest("serve_batch_occupancy.mean")
+        if all(value is None
+               for value in (rps, p50, p99, hit, depth, occupancy)):
+            return []
+        lines = [self._paint("serve", _BOLD)]
+        lines.append(
+            f"  rps {self._fmt(rps):>10}   "
+            f"p50 {self._fmt(p50, 'ms'):>9}   "
+            f"p99 {self._fmt(p99, 'ms'):>9}")
+        lines.append(
+            f"  cache hit {self._fmt(hit, '%'):>6}   "
+            f"queue {self._fmt(depth):>5}   "
+            f"batch occupancy {self._fmt(occupancy):>5}")
+        drift = [name for name in store.names()
+                 if name.startswith("serve_drift_score_shift")
+                 or name.startswith("serve_drift_novelty_rate")]
+        for name in drift:
+            value = store.latest(name)
+            codes = (_YELLOW,) if (value or 0) > 0.25 else (_DIM,)
+            lines.append("  " + self._paint(
+                f"{name} = {self._fmt(value)}", *codes))
+        lines.append("")
+        return lines
+
+    def _worker_lines(self, workers: list[str]) -> list[str]:
+        rows = []
+        for worker in workers:
+            steps = self.worker_store.latest(
+                f"{worker}/train_steps_total")
+            if steps is None:
+                continue
+            step_rate = self.worker_store.rate(
+                f"{worker}/train_steps_total", self.window)
+            rows.append(f"  {worker:<24} steps {steps:>8.0f}   "
+                        f"step/s {self._fmt(step_rate):>8}")
+        if not rows:
+            return []
+        return [self._paint("workers", _BOLD), *rows, ""]
+
+    def _series_lines(self, limit: int = 8) -> list[str]:
+        """The busiest generic series (rate over the window) — whatever
+        the fleet publishes beyond the dedicated rows still shows up."""
+        rows = []
+        for name in self.store.names():
+            if name.startswith(_KNOWN_PREFIXES) \
+                    or any(f"/{prefix}" in name
+                           for prefix in _KNOWN_PREFIXES):
+                continue
+            if name.endswith((".p50", ".p99", ".mean", ".max", ".sum")):
+                continue
+            latest = self.store.latest(name)
+            rate = self.store.rate(name, self.window)
+            rows.append((rate or 0.0, name, latest, rate))
+        rows.sort(key=lambda row: (-row[0], row[1]))
+        if not rows:
+            return []
+        lines = [self._paint(
+            f"series (rate over {self.window:.0f}s)", _BOLD)]
+        for _, name, latest, rate in rows[:limit]:
+            lines.append(f"  {name:<44} {self._fmt(latest):>12} "
+                         f"  {self._fmt(rate):>10}/s")
+        if len(rows) > limit:
+            lines.append(self._paint(
+                f"  ... {len(rows) - limit} more series", _DIM))
+        lines.append("")
+        return lines
+
+
+def make_source(target: str):
+    """A dashboard source from a CLI target: URL or directory."""
+    if target.startswith(("http://", "https://")) \
+            or (":" in target and not Path(target).exists()):
+        return HttpSource(target)
+    return DirectorySource(target)
+
+
+def run_top(source, interval: float = 2.0, frames: int | None = None,
+            window: float = 30.0, stream=None, color: bool | None = None
+            ) -> Dashboard:
+    """Drive the dashboard loop; ``frames`` bounds it (None = forever)."""
+    stream = sys.stdout if stream is None else stream
+    if color is None:
+        color = bool(getattr(stream, "isatty", lambda: False)())
+    dashboard = Dashboard(source, window=window, color=color)
+    rendered = 0
+    try:
+        while frames is None or rendered < frames:
+            try:
+                dashboard.tick()
+                frame = dashboard.frame()
+            except (urllib.error.URLError, OSError) as error:
+                frame = f"repro obs top — {source.target}: {error}\n"
+            if color:
+                stream.write(f"{_CSI}H{_CSI}2J")
+            stream.write(frame)
+            stream.flush()
+            rendered += 1
+            if frames is not None and rendered >= frames:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return dashboard

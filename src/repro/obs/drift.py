@@ -1,0 +1,374 @@
+"""Serve-side forecast-quality drift monitors.
+
+A serving fleet can degrade silently: the traffic distribution wanders
+away from what the model was trained on, and nobody reruns the eval
+suite against live inputs.  This module watches three signals cheap
+enough for the serve path:
+
+* **hotspot-score shift** — each forecast is reduced to one scalar, the
+  fraction of pixels whose decoded congestion utilization exceeds a
+  threshold (:func:`hotspot_score`).  A :class:`ReferenceProfile`
+  captured at *training* time (by the Runner's eval pass over held-out
+  batches) fixes the expected distribution of that scalar; at serve
+  time a sliding window of live scores is compared against it by total
+  variation distance (0 = identical, 1 = disjoint).
+* **input novelty rate** — the fraction of recent requests whose input
+  content hash (the forecast cache's sha256 digest) was never seen
+  before.  A hot cache serving a stable input population has low
+  novelty; a sudden jump means the traffic changed.
+* **sampled ground-truth NRMS** — when callers *do* have the real
+  congestion map after the fact, :meth:`DriftMonitor.observe_truth`
+  folds the paper's NRMS metric over a sliding sample of them.
+
+Every signal is exported as a ``serve_drift_*`` gauge family labeled by
+model (``agg="max"`` so a fleet merge shows the worst worker), which is
+what alert rules (:mod:`repro.obs.alerts`) evaluate.
+
+This module needs numpy (decoding forecasts) and must **not** be
+imported by ``repro.obs.__init__`` — the obs package import path stays
+stdlib-only for the numpy-free CLI commands.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from collections import deque
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Default congestion-utilization threshold defining a hotspot pixel.
+DEFAULT_THRESHOLD = 0.5
+
+#: Default number of uniform score bins over [0, 1] in a profile.
+DEFAULT_BINS = 20
+
+#: Conventional file name for a run's reference profile artifact.
+REFERENCE_NAME = "reference.json"
+
+
+def hotspot_score(image, threshold: float = DEFAULT_THRESHOLD) -> float:
+    """Fraction of pixels of one forecast that are hotspot-hot.
+
+    ``image`` is a served forecast — channel-last ``(H, W, 3)`` in
+    [0, 1], decoded through the paper's color gradient; any other shape
+    falls back to the raw mean-over-channels utilization.
+    """
+    import numpy as np
+
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim >= 1 and image.shape[-1] == 3:
+        from repro.viz.colors import COLOR_SCHEME, decode_utilization
+        utilization = decode_utilization(image, COLOR_SCHEME)
+    else:
+        utilization = image
+    if utilization.size == 0:
+        return 0.0
+    return float(np.mean(utilization >= threshold))
+
+
+def hotspot_scores(images, threshold: float = DEFAULT_THRESHOLD
+                   ) -> list[float]:
+    """Per-sample hotspot scores for a batch of ``(N, H, W, 3)`` forecasts
+    (one shared color decode instead of N)."""
+    import numpy as np
+
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim == 3:
+        images = images[None]
+    if images.shape[-1] == 3:
+        from repro.viz.colors import COLOR_SCHEME, decode_utilization
+        utilization = decode_utilization(images, COLOR_SCHEME)
+    else:
+        utilization = images
+    hot = utilization >= threshold
+    return [float(value)
+            for value in hot.reshape(hot.shape[0], -1).mean(axis=1)]
+
+
+def sampled_nrms(pred, target) -> float:
+    """Paper NRMS (RMSE over the target's value range) of one pair.
+
+    Both arrays are decoded to per-pixel utilization first when they are
+    channel-last RGB forecasts.  A constant target (zero range) yields
+    0.0 for a perfect match and ``inf`` otherwise, matching the eval
+    suite's convention of never dividing by zero silently.
+    """
+    import numpy as np
+
+    def _util(a):
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim >= 1 and a.shape[-1] == 3:
+            from repro.viz.colors import COLOR_SCHEME, decode_utilization
+            return decode_utilization(a, COLOR_SCHEME)
+        return a
+    p, t = _util(pred), _util(target)
+    rmse = float(np.sqrt(np.mean((p - t) ** 2)))
+    spread = float(t.max() - t.min()) if t.size else 0.0
+    if spread == 0.0:
+        return 0.0 if rmse == 0.0 else math.inf
+    return rmse / spread
+
+
+def _bin_index(score: float, bins: int) -> int:
+    return min(max(int(score * bins), 0), bins - 1)
+
+
+class ReferenceProfile:
+    """The training-time distribution of per-forecast hotspot scores.
+
+    A fixed uniform histogram over [0, 1] (``bins`` buckets) plus the
+    observation count and mean.  JSON round-trips exactly (counts are
+    integers), so the artifact a Runner writes is byte-stable.
+    """
+
+    def __init__(self, bins: int = DEFAULT_BINS,
+                 threshold: float = DEFAULT_THRESHOLD,
+                 meta: dict | None = None):
+        if bins < 2:
+            raise ValueError(f"bins must be >= 2, got {bins}")
+        self.bins = int(bins)
+        self.threshold = float(threshold)
+        self.meta = dict(meta or {})
+        self.counts = [0] * self.bins
+        self.count = 0
+        self._score_sum = 0.0
+
+    @classmethod
+    def from_scores(cls, scores, bins: int = DEFAULT_BINS,
+                    threshold: float = DEFAULT_THRESHOLD,
+                    meta: dict | None = None) -> "ReferenceProfile":
+        profile = cls(bins=bins, threshold=threshold, meta=meta)
+        for score in scores:
+            profile.observe(float(score))
+        return profile
+
+    def observe(self, score: float) -> None:
+        self.counts[_bin_index(score, self.bins)] += 1
+        self.count += 1
+        self._score_sum += score
+
+    @property
+    def mean(self) -> float:
+        return self._score_sum / self.count if self.count else 0.0
+
+    def density(self) -> list[float]:
+        """Normalized bin probabilities (all zeros when empty)."""
+        if not self.count:
+            return [0.0] * self.bins
+        return [c / self.count for c in self.counts]
+
+    def shift(self, scores) -> float:
+        """Total variation distance between live scores and the profile.
+
+        ``0.5 * sum(|p_i - q_i|)`` over the shared bins — 0 when the
+        live window reproduces the training distribution, 1 when they
+        are disjoint.  An empty window (or empty profile) reads 0 —
+        no evidence is not drift.
+        """
+        scores = list(scores)
+        if not scores or not self.count:
+            return 0.0
+        live = [0] * self.bins
+        for score in scores:
+            live[_bin_index(float(score), self.bins)] += 1
+        n = len(scores)
+        return 0.5 * sum(abs(c / n - q)
+                         for c, q in zip(live, self.density()))
+
+    # -- persistence --------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "hotspot_score_profile",
+            "bins": self.bins,
+            "threshold": self.threshold,
+            "counts": list(self.counts),
+            "count": self.count,
+            "score_sum": self._score_sum,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json(cls, document: dict) -> "ReferenceProfile":
+        if document.get("kind") != "hotspot_score_profile":
+            raise ValueError("not a reference profile document")
+        profile = cls(bins=document["bins"],
+                      threshold=document["threshold"],
+                      meta=document.get("meta"))
+        counts = list(document["counts"])
+        if len(counts) != profile.bins:
+            raise ValueError(f"profile has {len(counts)} counts for "
+                             f"{profile.bins} bins")
+        profile.counts = counts
+        profile.count = int(document["count"])
+        profile._score_sum = float(document.get("score_sum", 0.0))
+        return profile
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), sort_keys=True,
+                                   indent=2) + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ReferenceProfile":
+        return cls.from_json(
+            json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+class _ModelWindow:
+    """Per-model sliding state (scores, novelty flags, truth NRMS)."""
+
+    def __init__(self, window: int, novelty_window: int,
+                 seen_capacity: int):
+        self.scores: deque = deque(maxlen=window)
+        self.novel_flags: deque = deque(maxlen=novelty_window)
+        self.nrms: deque = deque(maxlen=window)
+        self.seen: set = set()
+        self.seen_order: deque = deque(maxlen=seen_capacity)
+        self.reference: ReferenceProfile | None = None
+        self.observations = 0
+
+    def note_digest(self, digest: str) -> bool:
+        """Record one digest; True when it was never seen before."""
+        novel = digest not in self.seen
+        if novel:
+            if len(self.seen_order) == self.seen_order.maxlen:
+                self.seen.discard(self.seen_order[0])
+            self.seen_order.append(digest)
+            self.seen.add(digest)
+        self.novel_flags.append(1 if novel else 0)
+        return novel
+
+
+class DriftMonitor:
+    """Sliding-window drift signals for every served model.
+
+    Thread-safe (the engine worker observes, HTTP threads read).  All
+    signals surface both as return values of :meth:`status` and as the
+    ``serve_drift_*`` gauges on ``metrics``.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 window: int = 256, novelty_window: int = 512,
+                 seen_capacity: int = 8192,
+                 threshold: float = DEFAULT_THRESHOLD):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.window = window
+        self.novelty_window = novelty_window
+        self.seen_capacity = seen_capacity
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        self._models: dict[str, _ModelWindow] = {}
+        m = self.metrics
+        self._g_shift = m.gauge(
+            "serve_drift_score_shift",
+            "Total variation distance of live hotspot scores vs the "
+            "training reference profile.",
+            labelnames=("model",), agg="max")
+        self._g_novelty = m.gauge(
+            "serve_drift_novelty_rate",
+            "Fraction of recent requests with never-seen input hashes.",
+            labelnames=("model",), agg="max")
+        self._g_nrms = m.gauge(
+            "serve_drift_sampled_nrms",
+            "Mean NRMS over the sampled ground-truth window.",
+            labelnames=("model",), agg="max")
+        self._g_window = m.gauge(
+            "serve_drift_window_size",
+            "Live forecasts currently inside the drift window.",
+            labelnames=("model",), agg="sum")
+        self._c_observed = m.counter(
+            "serve_drift_observations_total",
+            "Forecasts folded into the drift monitors.",
+            labelnames=("model",))
+
+    def _state(self, model_id: str) -> _ModelWindow:
+        state = self._models.get(model_id)
+        if state is None:
+            state = self._models[model_id] = _ModelWindow(
+                self.window, self.novelty_window, self.seen_capacity)
+        return state
+
+    def set_reference(self, model_id: str,
+                      profile: ReferenceProfile) -> None:
+        with self._lock:
+            self._state(model_id).reference = profile
+
+    def load_reference(self, model_id: str, path: str | Path) -> None:
+        self.set_reference(model_id, ReferenceProfile.load(path))
+
+    def has_reference(self, model_id: str) -> bool:
+        with self._lock:
+            state = self._models.get(model_id)
+            return state is not None and state.reference is not None
+
+    # -- observation --------------------------------------------------------
+
+    def observe(self, model_id: str, image,
+                digest: str | None = None) -> float:
+        """Fold one served forecast in; returns its hotspot score."""
+        score = hotspot_score(image, self.threshold)
+        with self._lock:
+            state = self._state(model_id)
+            state.scores.append(score)
+            state.observations += 1
+            if digest is not None:
+                state.note_digest(digest)
+            self._publish(model_id, state)
+        self._c_observed.labels(model=model_id).inc()
+        return score
+
+    def observe_truth(self, model_id: str, image, target) -> float:
+        """Fold one (forecast, ground truth) pair in; returns its NRMS."""
+        value = sampled_nrms(image, target)
+        with self._lock:
+            state = self._state(model_id)
+            if math.isfinite(value):
+                state.nrms.append(value)
+            self._publish(model_id, state)
+        return value
+
+    def _publish(self, model_id: str, state: _ModelWindow) -> None:
+        """Update the gauges from one model's windows (lock held)."""
+        shift = (state.reference.shift(state.scores)
+                 if state.reference is not None else 0.0)
+        flags = state.novel_flags
+        novelty = sum(flags) / len(flags) if flags else 0.0
+        nrms = (sum(state.nrms) / len(state.nrms)
+                if state.nrms else 0.0)
+        self._g_shift.labels(model=model_id).set(shift)
+        self._g_novelty.labels(model=model_id).set(novelty)
+        self._g_nrms.labels(model=model_id).set(nrms)
+        self._g_window.labels(model=model_id).set(float(len(state.scores)))
+
+    # -- reporting ----------------------------------------------------------
+
+    def status(self) -> dict:
+        """Per-model drift signals (the ``GET /alerts`` payload half)."""
+        with self._lock:
+            report = {}
+            for model_id, state in sorted(self._models.items()):
+                flags = state.novel_flags
+                report[model_id] = {
+                    "observations": state.observations,
+                    "window_size": len(state.scores),
+                    "score_mean": (sum(state.scores) / len(state.scores)
+                                   if state.scores else 0.0),
+                    "score_shift": (
+                        state.reference.shift(state.scores)
+                        if state.reference is not None else None),
+                    "has_reference": state.reference is not None,
+                    "novelty_rate": (sum(flags) / len(flags)
+                                     if flags else 0.0),
+                    "sampled_nrms": (sum(state.nrms) / len(state.nrms)
+                                     if state.nrms else None),
+                    "truth_samples": len(state.nrms),
+                }
+            return report

@@ -22,6 +22,13 @@ label values, so two snapshots of identical state are identical JSON.
 (``# HELP``/``# TYPE`` headers, cumulative ``_bucket{le=...}`` rows with
 ``+Inf``, ``_sum``/``_count``).
 
+For fleet use (``repro.obs.publish`` / ``repro.obs.aggregate``) a
+registry also ``export()``s itself with full merge metadata — kind,
+help, label names, gauge aggregation policy (``sum``/``max``/``last``),
+histogram bucket bounds and raw per-bucket counts — which is enough to
+reconstruct an equivalent live registry in another process and to merge
+N worker exports into one with exact semantics.
+
 Everything here is stdlib-only and thread-safe: one lock per metric
 child, none held during callback collection longer than the read.
 """
@@ -65,6 +72,55 @@ def _label_suffix(labels: tuple[tuple[str, str], ...],
     return "{" + ",".join(parts) + "}" if parts else ""
 
 
+def quantile_from_counts(bounds, counts, q: float, *,
+                         minimum: float | None = None,
+                         maximum: float | None = None) -> float:
+    """Estimated q-quantile from raw histogram state.
+
+    Interpolation rule (shared by :meth:`Histogram.quantile` and the
+    merged-snapshot readers): the target rank ``q * total`` is located
+    in its owning bucket by cumulative count, then linearly interpolated
+    between that bucket's lower and upper bounds by the rank's fraction
+    through the bucket.  Exact edges: ``q=0.0`` returns the observed
+    minimum and ``q=1.0`` the observed maximum (when tracked) — both are
+    order statistics the histogram knows exactly, so no interpolation
+    applies.  Estimates clamp to ``[minimum, maximum]``; ranks landing
+    in the ``+Inf`` bucket return the observed maximum (that bucket has
+    no width to interpolate in).  An empty histogram returns 0.0 so
+    merged-snapshot quantiles are always defined numbers.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    if q == 0.0 and minimum is not None:
+        return minimum
+    if q == 1.0 and maximum is not None:
+        return maximum
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        lower = cumulative
+        cumulative += count
+        if cumulative >= rank:
+            if index >= len(bounds):
+                # +Inf bucket: the best point estimate is the max seen.
+                return maximum if maximum is not None else bounds[-1]
+            hi = bounds[index]
+            lo = bounds[index - 1] if index > 0 else min(0.0, hi)
+            fraction = (rank - lower) / count
+            estimate = lo + (hi - lo) * max(0.0, min(1.0, fraction))
+            if maximum is not None:
+                estimate = min(estimate, maximum)
+            if minimum is not None:
+                estimate = max(estimate, minimum)
+            return estimate
+    return maximum if maximum is not None else bounds[-1]
+
+
 class Counter:
     """A monotonically non-decreasing total.
 
@@ -98,16 +154,38 @@ class Counter:
         value = self.value
         return int(value) if value == int(value) else value
 
+    def _restore(self, value: float) -> None:
+        """Set the absolute total (aggregator reconstruction only)."""
+        with self._lock:
+            self._fn = None
+            self._value = float(value)
+
+
+#: Gauge merge policies a fleet aggregator may apply across workers.
+GAUGE_AGGREGATIONS = ("sum", "max", "last")
+
 
 class Gauge:
-    """A value that can go up and down; optionally callback-collected."""
+    """A value that can go up and down; optionally callback-collected.
+
+    ``agg`` declares how a fleet aggregator merges this gauge across
+    worker snapshots: ``"sum"`` (queue depths, byte counts), ``"max"``
+    (high-water marks), or ``"last"`` (ratios and other values where
+    summing is meaningless; the value from the last worker in sorted
+    worker order wins, deterministically).
+    """
 
     kind = "gauge"
 
-    def __init__(self, fn: Callable[[], float] | None = None):
+    def __init__(self, fn: Callable[[], float] | None = None,
+                 agg: str = "last"):
+        if agg not in GAUGE_AGGREGATIONS:
+            raise ValueError(f"gauge agg must be one of "
+                             f"{GAUGE_AGGREGATIONS}, got {agg!r}")
         self._lock = threading.Lock()
         self._value = 0.0
         self._fn = fn
+        self.agg = agg
 
     def _check_settable(self) -> None:
         if self._fn is not None:
@@ -144,6 +222,12 @@ class Gauge:
         value = self.value
         return int(value) if value == int(value) else value
 
+    def _restore(self, value: float) -> None:
+        """Set the absolute value (aggregator reconstruction only)."""
+        with self._lock:
+            self._fn = None
+            self._value = float(value)
+
 
 class Histogram:
     """Fixed-bucket histogram with exact per-bucket counts.
@@ -170,6 +254,7 @@ class Histogram:
         self._sum = 0.0
         self._count = 0
         self._max = -math.inf
+        self._min = math.inf
 
     def observe(self, value: float) -> None:
         index = bisect_left(self.bounds, value)
@@ -179,6 +264,8 @@ class Histogram:
             self._count += 1
             if value > self._max:
                 self._max = value
+            if value < self._min:
+                self._min = value
 
     @property
     def count(self) -> int:
@@ -196,6 +283,11 @@ class Histogram:
             return self._max if self._count else None
 
     @property
+    def min_observed(self) -> float | None:
+        with self._lock:
+            return self._min if self._count else None
+
+    @property
     def mean(self) -> float:
         with self._lock:
             return self._sum / self._count if self._count else 0.0
@@ -210,37 +302,23 @@ class Histogram:
         return keyed
 
     def quantile(self, q: float) -> float:
-        """Estimated q-quantile (0..1) by interpolation within a bucket.
+        """Estimated q-quantile (0..1); see :func:`quantile_from_counts`.
 
-        Values above the last finite bound clamp to that bound (the +Inf
-        bucket has no width to interpolate in); an empty histogram
-        returns 0.0.
+        The interpolation rule: the rank ``q * count`` is located in its
+        owning bucket, then linearly interpolated between the bucket's
+        bounds; estimates clamp to the observed ``[min, max]``.  Exact
+        edges: ``q=0.0`` returns the observed minimum, ``q=1.0`` the
+        observed maximum, and an empty histogram returns 0.0 at any
+        ``q`` — so quantiles over merged snapshots are always defined.
         """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
             counts = list(self._counts)
             total = self._count
-            observed_max = self._max
-        if total == 0:
-            return 0.0
-        rank = q * total
-        cumulative = 0
-        for index, count in enumerate(counts):
-            if count == 0:
-                continue
-            lower = cumulative
-            cumulative += count
-            if cumulative >= rank:
-                if index >= len(self.bounds):
-                    # +Inf bucket: the best point estimate is the max seen.
-                    return observed_max
-                hi = self.bounds[index]
-                lo = self.bounds[index - 1] if index > 0 else min(0.0, hi)
-                fraction = (rank - lower) / count
-                estimate = lo + (hi - lo) * max(0.0, min(1.0, fraction))
-                return min(estimate, observed_max)
-        return observed_max
+            observed_max = self._max if total else None
+            observed_min = self._min if total else None
+        return quantile_from_counts(self.bounds, counts, q,
+                                    minimum=observed_min,
+                                    maximum=observed_max)
 
     def _snapshot_value(self) -> dict:
         return {
@@ -248,10 +326,36 @@ class Histogram:
             "count": self.count,
             "sum": self.sum,
             "mean": self.mean,
+            "min": self.min_observed,
             "max": self.max_observed,
             "p50": self.quantile(0.5),
             "p99": self.quantile(0.99),
         }
+
+    def _raw_state(self) -> dict:
+        """Exact internal state for export/merge (non-cumulative counts,
+        ``+Inf`` last; ``min``/``max`` are ``None`` when empty)."""
+        with self._lock:
+            return {
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+            }
+
+    def _restore(self, counts, total, value_sum, minimum, maximum) -> None:
+        """Set exact internal state (aggregator reconstruction only)."""
+        if len(counts) != len(self.bounds) + 1:
+            raise ValueError(
+                f"expected {len(self.bounds) + 1} bucket counts, "
+                f"got {len(counts)}")
+        with self._lock:
+            self._counts = [int(c) for c in counts]
+            self._sum = float(value_sum)
+            self._count = int(total)
+            self._min = math.inf if minimum is None else float(minimum)
+            self._max = -math.inf if maximum is None else float(maximum)
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -298,6 +402,28 @@ class _Family:
         sorted — the read-side counterpart of :meth:`labels`."""
         return self._sorted_children()
 
+    def _export(self) -> dict:
+        """The family with full merge metadata (see ``MetricsRegistry.export``)."""
+        document: dict = {
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+        }
+        if self.kind == "gauge":
+            document["agg"] = self._child_kwargs.get("agg", "last")
+        children = []
+        for key, child in self._sorted_children():
+            if self.kind == "histogram":
+                if "bounds" not in document:
+                    document["bounds"] = list(child.bounds)
+                children.append([list(key), child._raw_state()])
+            else:
+                children.append([list(key), child._snapshot_value()])
+        if self.kind == "histogram" and "bounds" not in document:
+            document["bounds"] = list(self._child_kwargs.get("buckets", ()))
+        document["children"] = children
+        return document
+
 
 class MetricsRegistry:
     """Get-or-create registry of named metrics with deterministic output."""
@@ -334,10 +460,15 @@ class MetricsRegistry:
 
     def gauge(self, name: str, help_text: str = "",
               labelnames: Iterable[str] = (),
-              fn: Callable[[], float] | None = None):
-        """A :class:`Gauge` (or its family); ``fn`` makes it collected."""
+              fn: Callable[[], float] | None = None,
+              agg: str = "last"):
+        """A :class:`Gauge` (or its family); ``fn`` makes it collected.
+
+        ``agg`` declares the fleet merge policy (``sum``/``max``/``last``)
+        applied when worker snapshots of this gauge are aggregated.
+        """
         return self._get_or_create(name, help_text, "gauge",
-                                   tuple(labelnames), fn=fn)
+                                   tuple(labelnames), fn=fn, agg=agg)
 
     def histogram(self, name: str, help_text: str = "",
                   buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
@@ -364,6 +495,22 @@ class MetricsRegistry:
                 child._snapshot_value()
                 for key, child in children}
         return document
+
+    def export(self) -> dict:
+        """Snapshot *with merge metadata*, the unit of fleet publishing.
+
+        Unlike :meth:`snapshot` (values only, human/JSON-friendly), the
+        export carries everything an aggregator needs to merge worker
+        registries exactly: kind, help text, label names, gauge ``agg``
+        policy, histogram bucket bounds, and raw non-cumulative bucket
+        counts with exact ``sum``/``count``/``min``/``max``.  Children
+        are ``[label-values, state]`` pairs in deterministic sorted
+        order.  Collected (``fn=``-backed) metrics export their value at
+        call time; the callback itself does not travel.
+        """
+        with self._lock:
+            families = sorted(self._families.items())
+        return {name: family._export() for name, family in families}
 
     def render_prometheus(self) -> str:
         """The Prometheus text exposition format (version 0.0.4)."""

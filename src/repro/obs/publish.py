@@ -1,0 +1,192 @@
+"""Cross-process telemetry publishing: one atomic JSON file per worker.
+
+A fleet (sweep workers, ``data.parallel`` generators, the serve engine)
+has no shared memory, so each worker *publishes* its
+:class:`~repro.obs.metrics.MetricsRegistry` as a snapshot file under a
+shared telemetry directory::
+
+    <dir>/telemetry/<role>-<worker>.json
+
+Files are written atomically (temp file + ``os.replace``), so a reader
+never sees a torn snapshot — the aggregation side
+(:mod:`repro.obs.aggregate`) can poll the directory at any moment and
+merge whatever set of workers is currently live.  Each snapshot carries
+the registry's full merge-metadata :meth:`~MetricsRegistry.export` plus
+worker identity (role, worker id, pid) and a monotonically increasing
+``seq`` so staleness is detectable.
+
+:class:`TelemetryPublisher` is both a one-shot writer (:meth:`publish`)
+and a daemon thread republishing every ``interval`` seconds; stopping it
+always publishes one final snapshot, so short-lived workers leave their
+complete totals behind.  Everything here is stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Subdirectory name conventionally holding worker snapshot files.
+TELEMETRY_DIR = "telemetry"
+
+#: Snapshot document format version.
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_path(directory: str | Path, role: str, worker: str) -> Path:
+    """Where a worker's snapshot file lives under ``directory``."""
+    return Path(directory) / f"{role}-{worker}.json"
+
+
+def write_snapshot(registry: MetricsRegistry, directory: str | Path,
+                   role: str, worker: str, seq: int = 0,
+                   extra: dict | None = None) -> Path:
+    """Atomically publish one snapshot; returns the file written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    document = {
+        "version": SNAPSHOT_VERSION,
+        "role": role,
+        "worker": str(worker),
+        "pid": os.getpid(),
+        "seq": int(seq),
+        "published_unix": time.time(),
+        "families": registry.export(),
+    }
+    if extra:
+        document["extra"] = dict(extra)
+    path = snapshot_path(directory, role, worker)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(document, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def read_snapshot(path: str | Path) -> dict:
+    """One published snapshot document (raises on missing/invalid)."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "families" not in document:
+        raise ValueError(f"{path} is not a telemetry snapshot "
+                         f"(no 'families' key)")
+    return document
+
+
+def discover_snapshots(directory: str | Path) -> list[dict]:
+    """All readable snapshots under ``directory``, sorted by (role, worker).
+
+    Unreadable or non-snapshot JSON files are skipped (a worker may be
+    mid-``os.replace`` on another filesystem, or the directory may hold
+    unrelated files); the deterministic sort order is what makes merges
+    invariant to discovery order.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    snapshots = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            snapshots.append(read_snapshot(path))
+        except (ValueError, OSError, json.JSONDecodeError):
+            continue
+    snapshots.sort(key=lambda doc: (doc.get("role", ""),
+                                    doc.get("worker", "")))
+    return snapshots
+
+
+class TelemetryPublisher:
+    """Periodically publish a registry to a shared telemetry directory.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`MetricsRegistry` to snapshot.
+    directory:
+        The telemetry directory (created on first publish).
+    role:
+        Worker role (``serve``, ``sweep``, ``datagen`` ...); together
+        with ``worker`` it names the snapshot file.
+    worker:
+        Worker identity within the role; defaults to the pid.
+    interval:
+        Seconds between background republishes (:meth:`start`).
+    on_publish:
+        Optional callback invoked with the snapshot document after each
+        publish — the hook alert evaluation and dashboards ride on.
+    """
+
+    def __init__(self, registry: MetricsRegistry, directory: str | Path,
+                 role: str, worker: str | None = None,
+                 interval: float = 2.0, on_publish=None):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.registry = registry
+        self.directory = Path(directory)
+        self.role = role
+        self.worker = str(worker if worker is not None else os.getpid())
+        self.interval = interval
+        self.on_publish = on_publish
+        self.seq = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def path(self) -> Path:
+        return snapshot_path(self.directory, self.role, self.worker)
+
+    def publish(self, extra: dict | None = None) -> Path:
+        """Write one snapshot now; bumps ``seq``."""
+        self.seq += 1
+        path = write_snapshot(self.registry, self.directory, self.role,
+                              self.worker, seq=self.seq, extra=extra)
+        if self.on_publish is not None:
+            self.on_publish(read_snapshot(path))
+        return path
+
+    # -- background publishing --------------------------------------------
+
+    def start(self) -> "TelemetryPublisher":
+        if self._thread is not None:
+            raise RuntimeError("publisher is already running")
+        self._stop.clear()
+        self.publish()   # an immediate first snapshot, not interval-delayed
+        self._thread = threading.Thread(
+            target=self._run, name=f"obs-publish-{self.role}", daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.publish()
+            except OSError:
+                # A transient filesystem error must not kill the worker;
+                # the next interval retries.
+                continue
+
+    def stop(self, final: bool = True) -> None:
+        """Stop the thread; by default publish one last exact snapshot."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if final:
+            self.publish()
+
+    def unpublish(self) -> None:
+        """Remove this worker's snapshot file (a clean fleet departure)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "TelemetryPublisher":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -16,22 +16,41 @@ TELEMETRY_NAME = "telemetry.jsonl"
 TRACE_NAME = "trace.jsonl"
 
 
-def read_telemetry(path: str | Path) -> list[dict]:
-    """All telemetry records from a JSONL file ([] when absent)."""
+def read_jsonl(path: str | Path) -> tuple[list[dict], int]:
+    """All records from a JSONL file plus the count of skipped lines.
+
+    A live writer may be mid-append, leaving a partially-written final
+    line; readers polling such files (``repro obs tail``, ``train
+    status``, trace export) must not crash on it.  Unparseable lines are
+    skipped and counted, never raised.  Returns ``([], 0)`` when the
+    file is absent.
+    """
     path = Path(path)
     if not path.exists():
-        return []
-    records = []
+        return [], 0
+    records, skipped = [], 0
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
-    return records
+            except json.JSONDecodeError:
+                skipped += 1
+    return records, skipped
+
+
+def read_telemetry(path: str | Path) -> list[dict]:
+    """All telemetry records from a JSONL file ([] when absent).
+
+    Partially-written lines are skipped (see :func:`read_jsonl`).
+    """
+    return read_jsonl(path)[0]
 
 
 def tail_telemetry(path: str | Path, count: int = 10) -> list[dict]:
-    """The last ``count`` telemetry records, oldest first."""
+    """The last ``count`` parseable telemetry records, oldest first."""
     path = Path(path)
     if not path.exists():
         return []
@@ -39,9 +58,13 @@ def tail_telemetry(path: str | Path, count: int = 10) -> list[dict]:
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                tail.append(line)
-    return [json.loads(line) for line in tail]
+            if not line:
+                continue
+            try:
+                tail.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return list(tail)
 
 
 class _Acc:

@@ -1,0 +1,139 @@
+"""Bounded in-memory time series over metric snapshots.
+
+``repro obs top`` (and anything else that wants *rates* rather than
+lifetime totals) needs a short history of the fleet's merged state.
+:class:`TimeSeriesStore` is that history: an append-only ring of
+``(t, value)`` points per series, bounded to ``capacity`` samples, fed
+by :func:`flatten_export` which turns a registry export (or a merged
+fleet export) into flat scalar series::
+
+    serve_requests_total                      -> counter value
+    serve_queue_depth                         -> gauge value
+    serve_request_latency_seconds.p99         -> histogram quantile
+    http_requests_total{route=/v1/forecast}   -> labeled child
+
+Queries are window-based: :meth:`rate` is the delta between now and the
+oldest sample inside the window divided by the actual elapsed time, the
+standard counter-rate estimate; :meth:`delta` is the raw difference.
+Counter resets (a worker restart shrinking the merged total) clamp the
+delta at 0 rather than reporting a negative rate.  Stdlib-only and
+thread-safe (one lock; appends and reads are O(1)/O(window)).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.obs.metrics import quantile_from_counts
+
+#: Scalar sub-series derived from each histogram family.
+HISTOGRAM_FIELDS = ("count", "sum", "mean", "p50", "p99", "max")
+
+
+def series_name(name: str, labelnames, label_values) -> str:
+    """The flat series key for one child (``name{a=x,b=y}`` when labeled)."""
+    if not labelnames:
+        return name
+    inner = ",".join(f"{ln}={lv}"
+                     for ln, lv in zip(labelnames, label_values))
+    return f"{name}{{{inner}}}"
+
+
+def _histogram_fields(state: dict, bounds) -> dict[str, float]:
+    count = state["count"]
+    total = state["sum"]
+    return {
+        "count": count,
+        "sum": total,
+        "mean": total / count if count else 0.0,
+        "p50": quantile_from_counts(bounds, state["counts"], 0.5,
+                                    minimum=state["min"],
+                                    maximum=state["max"]),
+        "p99": quantile_from_counts(bounds, state["counts"], 0.99,
+                                    minimum=state["min"],
+                                    maximum=state["max"]),
+        "max": state["max"] if state["max"] is not None else 0.0,
+    }
+
+
+def flatten_export(families: dict) -> dict[str, float]:
+    """Flatten a registry export (or merged export) to scalar series."""
+    flat: dict[str, float] = {}
+    for name, family in families.items():
+        kind = family["kind"]
+        labelnames = family.get("labelnames", ())
+        bounds = family.get("bounds", ())
+        for label_values, state in family.get("children", ()):
+            key = series_name(name, labelnames, label_values)
+            if kind == "histogram":
+                for fld, value in _histogram_fields(state, bounds).items():
+                    flat[f"{key}.{fld}"] = value
+            else:
+                flat[key] = state
+    return flat
+
+
+class TimeSeriesStore:
+    """Bounded ring of timestamped samples for many named series."""
+
+    def __init__(self, capacity: int = 600):
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._series: dict[str, deque] = {}
+
+    def record(self, t: float, values: dict[str, float]) -> None:
+        """Append one sample of every series at time ``t``."""
+        with self._lock:
+            for name, value in values.items():
+                ring = self._series.get(name)
+                if ring is None:
+                    ring = self._series[name] = deque(maxlen=self.capacity)
+                ring.append((t, value))
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def series(self, name: str) -> list[tuple[float, float]]:
+        """All retained ``(t, value)`` points, oldest first."""
+        with self._lock:
+            ring = self._series.get(name)
+            return list(ring) if ring is not None else []
+
+    def latest(self, name: str) -> float | None:
+        with self._lock:
+            ring = self._series.get(name)
+            return ring[-1][1] if ring else None
+
+    def window(self, name: str, seconds: float) -> list[tuple[float, float]]:
+        """Points from the trailing ``seconds`` (relative to the newest)."""
+        points = self.series(name)
+        if not points:
+            return []
+        horizon = points[-1][0] - seconds
+        return [point for point in points if point[0] >= horizon]
+
+    def delta(self, name: str, seconds: float) -> float | None:
+        """Newest value minus the oldest value inside the window.
+
+        ``None`` with fewer than two points; clamped at 0 for apparent
+        counter resets (merged totals shrink when a worker restarts).
+        """
+        points = self.window(name, seconds)
+        if len(points) < 2:
+            return None
+        difference = points[-1][1] - points[0][1]
+        return max(0.0, difference)
+
+    def rate(self, name: str, seconds: float) -> float | None:
+        """Per-second rate over the window (delta / actual elapsed)."""
+        points = self.window(name, seconds)
+        if len(points) < 2:
+            return None
+        elapsed = points[-1][0] - points[0][0]
+        if elapsed <= 0:
+            return None
+        return max(0.0, points[-1][1] - points[0][1]) / elapsed

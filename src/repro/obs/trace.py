@@ -217,13 +217,22 @@ def set_tracer(tracer: Tracer | None) -> Tracer | None:
 
 
 def read_spans(path) -> list[dict]:
-    """All span records from a JSONL file, skipping blank lines."""
+    """All span records from a JSONL file.
+
+    Blank and partially-written lines (a tracer flushing concurrently)
+    are skipped, so Chrome export of a live trace never crashes on a
+    torn final line.
+    """
     spans = []
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 spans.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
     return spans
 
 

@@ -88,6 +88,13 @@ class BatchingEngine:
         A :class:`repro.obs.Tracer` for per-request spans
         (queue-wait → batch → forward).  Defaults to the process tracer,
         which is a no-op unless ``REPRO_TRACE`` is set.
+    drift:
+        Optional :class:`repro.obs.drift.DriftMonitor`.  Every served
+        forecast (cache hits included — drift tracks traffic, not
+        forwards) is folded into its sliding windows, publishing the
+        ``serve_drift_*`` gauges into this engine's metrics registry.
+        Monitor errors are swallowed: drift observes, it never fails a
+        request.
     """
 
     def __init__(self, registry: ModelRegistry, max_batch: int = 8,
@@ -95,7 +102,8 @@ class BatchingEngine:
                  cache: ForecastCache | None = None,
                  warm_start: bool = False,
                  metrics: MetricsRegistry | None = None,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 drift=None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_ms < 0:
@@ -107,6 +115,7 @@ class BatchingEngine:
         self.warm_start = warm_start
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.drift = drift
         # SimpleQueue: C-implemented put/get, measurably cheaper per
         # request than queue.Queue on the single-worker hot path.
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
@@ -250,8 +259,12 @@ class BatchingEngine:
         now = time.perf_counter()
         future: Future = Future()
         digest = None
-        if self.cache is not None:
+        if self.cache is not None or self.drift is not None:
+            # The drift monitor's novelty signal rides the same content
+            # hash the cache keys on, so it is computed when either
+            # consumer is present.
             digest = input_digest(x)
+        if self.cache is not None:
             hit = self.cache.get(model_id, digest)
             if hit is not None:
                 self._m_requests.inc()
@@ -261,6 +274,7 @@ class BatchingEngine:
                 future.set_result(ForecastResult(
                     model_id=model_id, image=hit, cached=True,
                     latency_seconds=latency))
+                self._observe_drift(model_id, hit, digest)
                 return future
         self._m_requests.inc()
         self._queue.put(_Request(model_id=model_id, x=x, digest=digest,
@@ -379,6 +393,17 @@ class BatchingEngine:
             request.future.set_result(ForecastResult(
                 model_id=model_id, image=image, cached=False,
                 latency_seconds=done - request.submitted_at))
+            self._observe_drift(model_id, image, request.digest)
+
+    def _observe_drift(self, model_id: str, image: np.ndarray,
+                       digest: str | None) -> None:
+        if self.drift is None:
+            return
+        try:
+            self.drift.observe(model_id, image, digest=digest)
+        except Exception:
+            # Quality monitoring must never take down serving.
+            pass
 
     def _stack_inputs(self, model_id: str,
                       requests: list[_Request]) -> np.ndarray:

@@ -8,11 +8,24 @@ Endpoints:
   Prometheus text exposition by default; clients sending
   ``Accept: application/json`` get the legacy JSON shape
   (``{"engine": ..., "http": ...}``) unchanged.
+* ``GET /telemetry``    — the registry's merge-ready ``export()`` plus
+  worker identity; what ``repro obs top <url>`` polls.
+* ``GET /alerts``       — firing alerts, full rule status, and drift
+  monitor signals.  Rules are (re)evaluated against the live registry
+  on every poll, so the endpoint works with or without a background
+  publisher.
 * ``POST /v1/forecast`` — run one forecast.  Body is JSON with ``model``
   plus either ``input`` (a nested ``(C, H, W)`` list in [-1, 1]) or
   ``place_image`` (``(H, W, 3)`` in [0, 1]) with ``connect_image``
   (``(H, W)`` in [0, 1]) and optional ``connect_weight``; the response
   carries the forecast image as nested ``(H, W, 3)`` lists in [0, 1].
+
+With ``obs_dir`` set, the server also runs a
+:class:`~repro.obs.publish.TelemetryPublisher` — its registry snapshot
+lands in ``<obs_dir>/telemetry/`` every ``publish_interval`` seconds
+(alert rules are evaluated on the same cadence, appending transitions
+to ``<obs_dir>/alerts.jsonl``), so a fleet of serve processes sharing
+one ``obs_dir`` aggregates under ``repro obs agg``/``top``.
 
 A ``ThreadingHTTPServer`` handles each connection on its own thread; all
 inference still funnels through the engine's single worker, so concurrent
@@ -26,11 +39,15 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 
 import numpy as np
 
 from repro import __version__
 from repro.gan.dataset import make_input_stack
+from repro.obs.alerts import ALERTS_NAME, AlertManager, load_rules
+from repro.obs.publish import TELEMETRY_DIR, TelemetryPublisher
+from repro.obs.timeseries import flatten_export
 from repro.serve.engine import BatchingEngine
 
 #: Reject request bodies larger than this (64 MB covers a 1024px input).
@@ -134,6 +151,16 @@ class _Handler(BaseHTTPRequestHandler):
                     "models": [info.as_dict()
                                for info in self.api.engine.registry.list()],
                 })
+            elif self.path == "/telemetry":
+                self._count("/telemetry")
+                self._send_json(200, {
+                    "role": "serve",
+                    "worker": self.api.worker_id,
+                    "families": self.api.engine.metrics.export(),
+                })
+            elif self.path == "/alerts":
+                self._count("/alerts")
+                self._send_json(200, self.api.alerts_payload())
             elif self.path == "/metrics":
                 self._count("/metrics")
                 # Content negotiation: Prometheus text by default, the
@@ -204,7 +231,10 @@ class ForecastServer:
 
     def __init__(self, engine: BatchingEngine, host: str = "127.0.0.1",
                  port: int = 8000, forecast_timeout: float = 60.0,
-                 verbose: bool = False):
+                 verbose: bool = False,
+                 obs_dir: str | Path | None = None,
+                 alert_rules=None,
+                 publish_interval: float = 2.0):
         self.engine = engine
         self.host = host
         self.port = port
@@ -219,6 +249,41 @@ class ForecastServer:
         self.route_counter = engine.metrics.counter(
             "http_requests_total", "HTTP requests by route.",
             labelnames=("route",))
+        # -- fleet observability ------------------------------------------
+        self.obs_dir = Path(obs_dir) if obs_dir is not None else None
+        self.publish_interval = publish_interval
+        self.worker_id = "0"     # refined to host:port at start()
+        self.publisher: TelemetryPublisher | None = None
+        if alert_rules is None:
+            rules = []
+        elif isinstance(alert_rules, (str, Path)):
+            rules = load_rules(alert_rules)
+        else:
+            rules = list(alert_rules)
+        log_path = (self.obs_dir / ALERTS_NAME
+                    if self.obs_dir is not None and rules else None)
+        self.alerts = AlertManager(rules, log_path=log_path,
+                                   metrics=engine.metrics) if rules \
+            else None
+
+    def evaluate_alerts(self) -> list:
+        """Run the alert rules against the live registry once."""
+        if self.alerts is None:
+            return []
+        return self.alerts.evaluate(
+            flatten_export(self.engine.metrics.export()))
+
+    def alerts_payload(self) -> dict:
+        """The ``GET /alerts`` body (evaluates rules on the way)."""
+        self.evaluate_alerts()
+        payload = {
+            "active": self.alerts.active() if self.alerts else [],
+            "rules": self.alerts.status() if self.alerts else {},
+        }
+        drift = self.engine.drift
+        if drift is not None:
+            payload["drift"] = drift.status()
+        return payload
 
     def http_stats(self) -> dict:
         """Legacy ``{"requests_by_route": ...}`` shape off the registry."""
@@ -239,10 +304,21 @@ class ForecastServer:
             target=self._httpd.serve_forever, name="forecast-http",
             daemon=True)
         self._thread.start()
+        self.worker_id = f"{self.host}-{self.port}"
+        if self.obs_dir is not None:
+            self.publisher = TelemetryPublisher(
+                self.engine.metrics, self.obs_dir / TELEMETRY_DIR,
+                role="serve", worker=self.worker_id,
+                interval=self.publish_interval,
+                on_publish=lambda _doc: self.evaluate_alerts())
+            self.publisher.start()
         return self
 
     def stop(self) -> None:
         """Stop accepting connections, then stop the engine."""
+        if self.publisher is not None:
+            self.publisher.stop()   # leaves the final exact snapshot
+            self.publisher = None
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()

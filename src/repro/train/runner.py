@@ -122,7 +122,8 @@ class Runner:
                  finetune_dataset: Dataset | None = None,
                  eval_dataset: Dataset | None = None,
                  log=None, telemetry: bool = True, trace: bool = False,
-                 tracer: Tracer | None = None, _fresh: bool = True):
+                 tracer: Tracer | None = None, metrics=None,
+                 _fresh: bool = True):
         self.spec = spec
         self.scale = spec.resolve_scale()
         self.run_dir = Path(run_dir) if run_dir is not None else None
@@ -131,6 +132,23 @@ class Runner:
         # Telemetry: timing events into <run>/telemetry.jsonl.  Purely
         # observational — nothing the training path reads back.
         self._telemetry = telemetry and self.run_dir is not None
+        # Fleet metrics: a repro.obs.MetricsRegistry to count progress
+        # into (sweep workers publish it cross-process).  Observational
+        # only — nothing the training path reads back.
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_steps = metrics.counter(
+                "train_steps_total", "Optimizer steps taken.")
+            self._m_examples = metrics.counter(
+                "train_examples_total", "Training examples consumed.")
+            self._m_epochs = metrics.counter(
+                "train_epochs_total", "Epochs folded.")
+            self._m_evals = metrics.counter(
+                "train_evals_total", "Eval passes run.")
+            self._m_steps_per_sec = metrics.gauge(
+                "train_steps_per_sec",
+                "Steps per second over the last folded epoch.",
+                agg="sum")
         self._step_started: float | None = None
         self._epoch_steps = 0
         self._epoch_step_ms = 0.0
@@ -143,6 +161,7 @@ class Runner:
         self.cursor = TrainCursor()
         self._loss_sums = np.zeros(4)
         self._evals: list[dict] = []
+        self._reference = None
         self._elapsed = 0.0
         self._run_started = 0.0
         self._resumed = False
@@ -506,12 +525,16 @@ class Runner:
             metric_suite,
         )
 
+        from repro.obs.drift import ReferenceProfile, hotspot_scores
+
         spec_eval = self.spec.eval
         suite = metric_suite()
         count = 0
         parts: dict[str, list[np.ndarray]] = {name: [] for name in suite}
+        scores: list[float] = []
         for x, y in self._eval_batches(spec_eval.batch_size):
             images = self.model.forecast(x)
+            scores.extend(hotspot_scores(images))
             pred = np.moveaxis(images, -1, 1)
             target = from_unit_range(y)
             for name, values in compute_per_sample(pred, target,
@@ -522,6 +545,17 @@ class Runner:
                              for name, chunks in parts.items()})
         record = {"phase": phase.name, "epoch": epoch,
                   "num_samples": count, "metrics": metrics}
+        # The drift reference: the distribution of hotspot scores this
+        # model produces on held-out data.  Serve-side monitors compare
+        # live traffic against it (repro.obs.drift).  Deterministic —
+        # derived from the same forecasts the metrics above scored.
+        self._reference = ReferenceProfile.from_scores(
+            scores, meta={"name": self.spec.name, "phase": phase.name,
+                          "epoch": epoch, "num_samples": count})
+        if self.run_dir is not None:
+            self._reference.save(self._path("reference.json"))
+        if self.metrics is not None:
+            self._m_evals.inc()
         tracked = metrics.get(spec_eval.track)
         if tracked is not None:
             better = (self.cursor.best_value is None
@@ -535,6 +569,9 @@ class Runner:
                 if self.run_dir is not None and self.spec.publish:
                     self.model.save(self._path(EXPORT_DIR)
                                     / f"{self.spec.name}-best.npz")
+                    self._reference.save(
+                        self._path(EXPORT_DIR)
+                        / f"{self.spec.name}-best-reference.json")
         return record
 
     # -- the run -------------------------------------------------------------
@@ -635,6 +672,11 @@ class Runner:
             export = self._path(EXPORT_DIR) / f"{self.spec.name}.npz"
             self.model.save(export)
             result.exported.append(export)
+            if self._reference is not None:
+                # Sits next to the .npz so `repro serve` can auto-load
+                # the drift reference for the model it registers.
+                self._reference.save(self._path(EXPORT_DIR)
+                                     / f"{self.spec.name}-reference.json")
             best = self._path(EXPORT_DIR) / f"{self.spec.name}-best.npz"
             if best.exists():
                 result.exported.append(best)
@@ -689,6 +731,9 @@ class Runner:
                         int(now * 1e9) - start_ns,
                         phase=phase.name, epoch=epoch, step=step)
             self._step_started = now
+            if self.metrics is not None:
+                self._m_steps.inc()
+                self._m_examples.inc(weight)
             self._append_line(LOSSES_NAME, {
                 "phase": phase.name, "epoch": epoch, "step": step,
                 "samples": weight,
@@ -738,6 +783,10 @@ class Runner:
                 self.tracer.complete(
                     "train.epoch", time.perf_counter_ns() - dur_ns, dur_ns,
                     phase=phase.name, epoch=epoch, steps=epoch_steps)
+            if self.metrics is not None:
+                self._m_epochs.inc()
+                self._m_steps_per_sec.set(
+                    epoch_steps / seconds if seconds > 0 else 0.0)
             self._epoch_steps = 0
             self._epoch_step_ms = 0.0
             # The epoch is folded: position the cursor at the next

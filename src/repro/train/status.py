@@ -40,7 +40,12 @@ def _tail_records(path: Path, wants: dict) -> dict:
             break
         if not line:
             continue
-        document = json.loads(line)
+        try:
+            document = json.loads(line)
+        except json.JSONDecodeError:
+            # A live run may be mid-append on its final line; a status
+            # poll skips it rather than crashing.
+            continue
         for name in list(remaining):
             if wants[name](document):
                 found[name] = document

@@ -10,6 +10,14 @@ the same runs — regardless of worker count or completion order.
 The sweep file is JSON: either a plain list of spec documents, or
 ``{"base": {...}, "runs": [{...}, ...]}`` where each run entry overlays
 the base document (handy for grids that vary one or two knobs).
+
+Each worker publishes a live telemetry snapshot (steps, examples,
+epochs, eval passes) into ``<root>/telemetry/<role>-<run>.json`` via
+:class:`repro.obs.publish.TelemetryPublisher` — ``repro obs top <root>``
+watches a running sweep through those files, and the final merged
+totals are summarized into ``<root>/sweep.json`` under ``"telemetry"``.
+Publishing is observational: run artifacts are byte-identical with it
+on or off.
 """
 
 from __future__ import annotations
@@ -20,6 +28,10 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.aggregate import aggregate_dir
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.publish import TELEMETRY_DIR, TelemetryPublisher
+from repro.obs.timeseries import flatten_export
 from repro.train.runner import Runner
 from repro.train.spec import TrainSpec
 
@@ -95,8 +107,17 @@ def _run_one(root: str, spec_dict: dict) -> dict:
                 "status": "skipped",
                 "existing_state": state,
             }
-        runner = Runner.create(spec, root)
-        result = runner.run()
+        metrics = MetricsRegistry()
+        runner = Runner.create(spec, root, metrics=metrics)
+        # Live fleet telemetry: this worker's registry lands in
+        # <root>/telemetry/sweep-<name>.json every interval; stop()
+        # leaves one final exact snapshot, so completed runs keep their
+        # totals visible to `repro obs agg` after the sweep ends.
+        publisher = TelemetryPublisher(
+            metrics, Path(root) / TELEMETRY_DIR, role="sweep",
+            worker=spec.name, interval=1.0)
+        with publisher:
+            result = runner.run()
         history = result.histories.get(
             "finetune", result.histories.get("train"))
         return {
@@ -158,5 +179,30 @@ def run_sweep(specs: list[TrainSpec], root: str | Path,
             log(f"  {row['name']:<24} {row['status']:<12} {suffix}")
     summary_path = root / SUMMARY_NAME
     summary_path.write_text(
-        json.dumps({"runs": rows}, indent=1, sort_keys=True) + "\n")
+        json.dumps({"runs": rows, "telemetry": summarize_telemetry(root)},
+                   indent=1, sort_keys=True) + "\n")
     return rows
+
+
+def summarize_telemetry(root: str | Path) -> dict:
+    """Merged worker-telemetry totals for a sweep root.
+
+    Aggregates whatever snapshots the workers published (exact merge,
+    see :mod:`repro.obs.aggregate`) into flat fleet totals plus the
+    per-worker step counts — the sweep.json footprint of the fleet.
+    Returns an empty document when no worker published.
+    """
+    fleet = aggregate_dir(root)
+    if not fleet.snapshots:
+        return {"workers": [], "totals": {}, "per_worker_steps": {}}
+    totals = {
+        name: value for name, value in flatten_export(fleet.merged).items()
+        if not name.startswith("train_steps_per_sec")}
+    per_worker = {}
+    for doc in fleet.snapshots:
+        flat = flatten_export(doc["families"])
+        steps = flat.get("train_steps_total")
+        if steps is not None:
+            per_worker[doc.get("worker", "?")] = int(steps)
+    return {"workers": fleet.workers, "totals": totals,
+            "per_worker_steps": per_worker}

@@ -109,6 +109,20 @@ class TestExamples:
         assert (out_dir / "obs" / "trace_chrome.json").exists()
         assert (out_dir / "obs" / "metrics.prom").exists()
 
+    def test_obs_fleet(self, tmp_path, out_dir):
+        result = run_example("obs_fleet.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "fleet train_steps_total" in result.stdout
+        assert 'train_steps_total{worker="sweep-fleet-a"}' in result.stdout
+        assert "repro obs top" in result.stdout
+        assert "ALERT firing: forecast-drift" in result.stdout
+        fleet_dir = out_dir / "fleet"
+        assert (fleet_dir / "fleet.prom").exists()
+        alerts = (fleet_dir / "alerts.jsonl").read_text().splitlines()
+        assert any('"state": "firing"' in line for line in alerts)
+        telemetry = fleet_dir / "sweep" / "telemetry"
+        assert len(list(telemetry.glob("sweep-*.json"))) == 2
+
     def test_packing_flow(self, tmp_path, out_dir):
         result = run_example("packing_flow.py", tmp_path)
         assert result.returncode == 0, result.stderr

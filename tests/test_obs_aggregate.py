@@ -1,0 +1,311 @@
+"""Cross-process telemetry: publish, discover, and exact merge."""
+
+import json
+import random
+import threading
+
+import pytest
+
+from repro.obs.aggregate import (
+    aggregate_dir,
+    aggregate_snapshots,
+    merge_exports,
+    registry_from_export,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.publish import (
+    TelemetryPublisher,
+    discover_snapshots,
+    read_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+
+
+def instrument(registry: MetricsRegistry):
+    """One of each metric kind, including labels and every gauge policy."""
+    return {
+        "requests": registry.counter("req_total", "requests"),
+        "routes": registry.counter("http_total", "by route",
+                                   labelnames=("route",)),
+        "depth": registry.gauge("depth", "queue depth", agg="sum"),
+        "peak": registry.gauge("peak_bytes", "peak memory", agg="max"),
+        "version": registry.gauge("config_version", "config", agg="last"),
+        "latency": registry.histogram("lat", "latency",
+                                      buckets=(1.0, 5.0, 10.0)),
+    }
+
+
+def drive(metrics, samples):
+    """Replay integer-valued observations (exact float partial sums)."""
+    for route, value in samples:
+        metrics["requests"].inc()
+        metrics["routes"].labels(route=route).inc()
+        metrics["latency"].observe(float(value))
+
+
+def fleet_and_serial(num_workers: int, seed: int = 7):
+    """The same 200 observations served by N workers and by one registry."""
+    rng = random.Random(seed)
+    samples = [(f"/r{rng.randrange(3)}", rng.randrange(15))
+               for _ in range(200)]
+    assignment = [rng.randrange(num_workers) for _ in samples]
+
+    serial = MetricsRegistry()
+    serial_metrics = instrument(serial)
+    drive(serial_metrics, samples)
+
+    workers = []
+    for index in range(num_workers):
+        registry = MetricsRegistry()
+        metrics = instrument(registry)
+        drive(metrics, [sample for sample, owner
+                        in zip(samples, assignment) if owner == index])
+        workers.append((f"w{index}", registry, metrics))
+
+    # Gauges: declared policies determine the merged value.
+    for index, (_, _, metrics) in enumerate(workers):
+        metrics["depth"].set(float(index + 1))      # sum -> N(N+1)/2
+        metrics["peak"].set(float(100 * (index + 1)))  # max -> 100N
+        metrics["version"].set(7.0)                  # last -> 7
+    n = num_workers
+    serial_metrics["depth"].set(n * (n + 1) / 2.0)
+    serial_metrics["peak"].set(100.0 * n)
+    serial_metrics["version"].set(7.0)
+    return workers, serial, samples
+
+
+def snapshot_doc(role, worker, registry):
+    return {"role": role, "worker": worker, "families": registry.export()}
+
+
+class TestMergeExactness:
+    def test_four_worker_merge_equals_serial_registry(self):
+        workers, serial, _ = fleet_and_serial(4)
+        fleet = aggregate_snapshots(
+            [snapshot_doc("sweep", name, registry)
+             for name, registry, _ in workers])
+        merged = fleet.registry()
+        assert json.dumps(merged.snapshot(), sort_keys=True) == \
+            json.dumps(serial.snapshot(), sort_keys=True)
+
+    def test_merge_is_worker_count_invariant(self):
+        # 1 worker and 4 workers over the same observations merge to the
+        # identical document.
+        _, serial, _ = fleet_and_serial(4)
+        one = aggregate_snapshots([snapshot_doc("x", "solo", serial)])
+        workers, _, _ = fleet_and_serial(4)
+        four = aggregate_snapshots(
+            [snapshot_doc("sweep", name, registry)
+             for name, registry, _ in workers])
+        assert json.dumps(one.merged, sort_keys=True) == \
+            json.dumps(four.merged, sort_keys=True)
+
+    def test_merge_is_order_invariant(self):
+        workers, _, _ = fleet_and_serial(4)
+        docs = [snapshot_doc("sweep", name, registry)
+                for name, registry, _ in workers]
+        shuffled = list(docs)
+        random.Random(3).shuffle(shuffled)
+        assert json.dumps(aggregate_snapshots(docs).merged,
+                          sort_keys=True) == \
+            json.dumps(aggregate_snapshots(shuffled).merged, sort_keys=True)
+
+    def test_merged_prometheus_identical_to_serial(self):
+        workers, serial, _ = fleet_and_serial(3, seed=11)
+        fleet = aggregate_snapshots(
+            [snapshot_doc("sweep", name, registry)
+             for name, registry, _ in workers])
+        assert fleet.render_prometheus() == serial.render_prometheus()
+
+    def test_merged_prometheus_reparses(self):
+        workers, _, _ = fleet_and_serial(4, seed=5)
+        fleet = aggregate_snapshots(
+            [snapshot_doc("sweep", name, registry)
+             for name, registry, _ in workers])
+        text = fleet.render_prometheus()
+        # Every sample line is `name{labels} value` with a float-parseable
+        # value; HELP/TYPE headers precede each family.
+        names = set()
+        for line in text.strip().splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                names.add(line.split()[2])
+                continue
+            metric, value = line.rsplit(" ", 1)
+            float(value)    # must parse
+            base = metric.split("{")[0]
+            family = base
+            for suffix in ("_bucket", "_sum", "_count"):
+                if family.endswith(suffix):
+                    family = family[: -len(suffix)]
+            assert family in names or base in names
+
+    def test_histogram_quantiles_exact_after_merge(self):
+        workers, serial, _ = fleet_and_serial(4, seed=13)
+        fleet = aggregate_snapshots(
+            [snapshot_doc("sweep", name, registry)
+             for name, registry, _ in workers])
+        merged_latency = fleet.registry().snapshot()["lat"]
+        serial_latency = serial.snapshot()["lat"]
+        assert merged_latency["p50"] == serial_latency["p50"]
+        assert merged_latency["p99"] == serial_latency["p99"]
+        assert merged_latency["min"] == serial_latency["min"]
+        assert merged_latency["max"] == serial_latency["max"]
+
+    def test_gauge_policies(self):
+        workers, _, _ = fleet_and_serial(4)
+        fleet = aggregate_snapshots(
+            [snapshot_doc("sweep", name, registry)
+             for name, registry, _ in workers])
+        snapshot = fleet.registry().snapshot()
+        assert snapshot["depth"] == 10      # 1+2+3+4
+        assert snapshot["peak_bytes"] == 400
+        assert snapshot["config_version"] == 7
+
+    def test_mismatched_kinds_rejected(self):
+        a = MetricsRegistry()
+        a.counter("m").inc()
+        b = MetricsRegistry()
+        b.gauge("m").set(1.0)
+        with pytest.raises(ValueError, match="counter"):
+            merge_exports([("a", a.export()), ("b", b.export())])
+
+    def test_mismatched_histogram_bounds_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(1.0)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(1.0, 3.0)).observe(1.0)
+        with pytest.raises(ValueError, match="bounds"):
+            merge_exports([("a", a.export()), ("b", b.export())])
+
+
+class TestWorkerDrilldown:
+    def test_worker_label_retained(self):
+        workers, _, _ = fleet_and_serial(2)
+        fleet = aggregate_snapshots(
+            [snapshot_doc("sweep", name, registry)
+             for name, registry, _ in workers])
+        text = fleet.render_prometheus(per_worker=True)
+        assert 'worker="sweep-w0"' in text
+        assert 'worker="sweep-w1"' in text
+        # Pre-existing labels compose with the worker label.
+        assert 'route="/r0",worker="sweep-w0"' in text
+
+    def test_drilldown_sums_back_to_merged_counter(self):
+        workers, serial, _ = fleet_and_serial(3)
+        fleet = aggregate_snapshots(
+            [snapshot_doc("sweep", name, registry)
+             for name, registry, _ in workers])
+        per_worker = fleet.worker_registry().snapshot()["req_total"]
+        assert sum(per_worker.values()) == serial.snapshot()["req_total"]
+
+
+class TestRoundTrip:
+    def test_registry_from_export_round_trips(self):
+        _, serial, _ = fleet_and_serial(2)
+        rebuilt = registry_from_export(serial.export())
+        assert json.dumps(rebuilt.snapshot(), sort_keys=True) == \
+            json.dumps(serial.snapshot(), sort_keys=True)
+        assert rebuilt.render_prometheus() == serial.render_prometheus()
+
+    def test_empty_labeled_family_survives(self):
+        registry = MetricsRegistry()
+        registry.counter("errs_total", "errors", labelnames=("kind",))
+        rebuilt = registry_from_export(registry.export())
+        assert "errs_total" in rebuilt.render_prometheus()
+
+
+class TestPublish:
+    def test_write_and_read_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(3)
+        path = write_snapshot(registry, tmp_path, "serve", "a", seq=5)
+        assert path == snapshot_path(tmp_path, "serve", "a")
+        doc = read_snapshot(path)
+        assert doc["role"] == "serve"
+        assert doc["worker"] == "a"
+        assert doc["seq"] == 5
+        assert registry_from_export(doc["families"]).snapshot()["n"] == 3
+
+    def test_discover_skips_garbage_and_sorts(self, tmp_path):
+        for worker in ("b", "a"):
+            registry = MetricsRegistry()
+            registry.counter("n").inc()
+            write_snapshot(registry, tmp_path, "sweep", worker)
+        (tmp_path / "torn.json").write_text('{"version": 1, "fam')
+        (tmp_path / "unrelated.json").write_text('{"not": "telemetry"}')
+        docs = discover_snapshots(tmp_path)
+        assert [doc["worker"] for doc in docs] == ["a", "b"]
+
+    def test_aggregate_dir_accepts_parent(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(2)
+        write_snapshot(registry, tmp_path / "telemetry", "sweep", "w")
+        for root in (tmp_path, tmp_path / "telemetry"):
+            fleet = aggregate_dir(root)
+            assert fleet.registry().snapshot()["n"] == 2
+
+    def test_aggregate_empty_dir(self, tmp_path):
+        fleet = aggregate_dir(tmp_path)
+        assert fleet.workers == []
+        assert fleet.merged == {}
+        assert fleet.render_prometheus().strip() == ""
+
+    def test_publisher_lifecycle(self, tmp_path):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+        published = []
+        publisher = TelemetryPublisher(
+            registry, tmp_path, "serve", worker="x", interval=60.0,
+            on_publish=lambda doc: published.append(doc["seq"]))
+        with publisher:
+            counter.inc(4)
+        # One immediate publish at start, one final exact one at stop.
+        assert publisher.seq == 2
+        assert published == [1, 2]
+        final = read_snapshot(publisher.path)
+        assert registry_from_export(final["families"]).snapshot()["n"] == 4
+        publisher.unpublish()
+        assert not publisher.path.exists()
+
+    def test_publisher_thread_republishes(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        seen = threading.Event()
+        publisher = TelemetryPublisher(
+            registry, tmp_path, "serve", worker="x", interval=0.02,
+            on_publish=lambda doc: seen.set() if doc["seq"] >= 3 else None)
+        with publisher:
+            assert seen.wait(timeout=5.0)
+
+    def test_concurrent_publish_with_observe(self, tmp_path):
+        # Snapshots taken while another thread observes are always
+        # internally consistent (atomic file, consistent registry walk).
+        registry = MetricsRegistry()
+        metrics = instrument(registry)
+        stop = threading.Event()
+
+        def pound():
+            route = 0
+            while not stop.is_set():
+                drive(metrics, [(f"/r{route % 3}", route % 15)])
+                route += 1
+
+        thread = threading.Thread(target=pound)
+        thread.start()
+        try:
+            last = 0
+            for seq in range(20):
+                write_snapshot(registry, tmp_path, "serve", "x", seq=seq)
+                doc = read_snapshot(snapshot_path(tmp_path, "serve", "x"))
+                rebuilt = registry_from_export(doc["families"])
+                snapshot = rebuilt.snapshot()
+                # The counter is bumped before the histogram observes,
+                # so a torn-in-time (but never torn-on-disk) snapshot
+                # keeps count <= requests; totals only grow.
+                assert snapshot["lat"]["count"] <= snapshot["req_total"]
+                assert snapshot["req_total"] >= last
+                last = snapshot["req_total"]
+        finally:
+            stop.set()
+            thread.join()

@@ -117,6 +117,50 @@ class TestHistogramQuantiles:
         with pytest.raises(ValueError):
             Histogram(buckets=(1.0,)).quantile(1.5)
 
+    def test_q0_is_exact_observed_minimum(self):
+        histogram = Histogram(buckets=(0.0, 10.0))
+        for value in (2.0, 4.0, 6.0, 8.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 2.0
+
+    def test_q1_is_exact_observed_maximum(self):
+        histogram = Histogram(buckets=(0.0, 10.0))
+        for value in (2.0, 4.0, 6.0, 8.0):
+            histogram.observe(value)
+        assert histogram.quantile(1.0) == 8.0
+
+    def test_q0_and_q1_on_empty_histogram_are_zero(self):
+        empty = Histogram(buckets=(1.0,))
+        assert empty.quantile(0.0) == 0.0
+        assert empty.quantile(1.0) == 0.0
+
+    def test_quantile_clamped_by_observed_minimum(self):
+        # One sample at 9 in (0, 10]: every quantile is exactly 9.
+        histogram = Histogram(buckets=(0.0, 10.0))
+        histogram.observe(9.0)
+        for q in (0.0, 0.25, 0.5, 1.0):
+            assert histogram.quantile(q) == 9.0
+
+    def test_min_tracked_in_snapshot(self):
+        histogram = Histogram(buckets=(10.0,))
+        for value in (3.0, 7.0):
+            histogram.observe(value)
+        assert histogram.min_observed == 3.0
+        assert histogram._snapshot_value()["min"] == 3
+
+    def test_quantile_from_counts_matches_histogram(self):
+        from repro.obs.metrics import quantile_from_counts
+
+        histogram = Histogram(buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 2.0, 3.0, 7.0, 12.0):
+            histogram.observe(value)
+        state = histogram._raw_state()
+        for q in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0):
+            assert quantile_from_counts(
+                (1.0, 5.0, 10.0), state["counts"], q,
+                minimum=state["min"], maximum=state["max"]) == \
+                histogram.quantile(q)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_object(self):
@@ -162,7 +206,7 @@ class TestRegistry:
         assert list(snapshot) == ["a_total", "latency", "z_depth"]
         assert snapshot["latency"]["count"] == 1
         assert set(snapshot["latency"]) == {
-            "buckets", "count", "sum", "mean", "max", "p50", "p99"}
+            "buckets", "count", "sum", "mean", "min", "max", "p50", "p99"}
 
     def test_snapshot_renders_whole_numbers_as_ints(self):
         registry = MetricsRegistry()

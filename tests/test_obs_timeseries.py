@@ -1,0 +1,174 @@
+"""Ring time-series store, snapshot flattening, and the dashboard."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.aggregate import aggregate_snapshots
+from repro.obs.dashboard import (
+    Dashboard,
+    DirectorySource,
+    firing_from_log,
+    make_source,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.publish import write_snapshot
+from repro.obs.timeseries import TimeSeriesStore, flatten_export
+
+
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve_requests_total").inc(100)
+    registry.gauge("serve_queue_depth").set(3.0)
+    h = registry.histogram("serve_request_latency_seconds",
+                           buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5):
+        h.observe(value)
+    registry.counter("http_requests_total",
+                     labelnames=("route",)).labels(
+        route="/v1/forecast").inc(7)
+    return registry
+
+
+class TestFlatten:
+    def test_flatten_kinds(self):
+        flat = flatten_export(sample_registry().export())
+        assert flat["serve_requests_total"] == 100
+        assert flat["serve_queue_depth"] == 3.0
+        assert flat["serve_request_latency_seconds.count"] == 3
+        assert flat["serve_request_latency_seconds.p50"] == \
+            pytest.approx(0.05, abs=0.05)
+        assert flat["http_requests_total{route=/v1/forecast}"] == 7
+
+    def test_flatten_merged_export(self):
+        registry = sample_registry()
+        fleet = aggregate_snapshots(
+            [{"role": "serve", "worker": "a",
+              "families": registry.export()}])
+        assert flatten_export(fleet.merged)["serve_requests_total"] == 100
+
+
+class TestStore:
+    def test_capacity_bounds_series(self):
+        store = TimeSeriesStore(capacity=3)
+        for t in range(10):
+            store.record(float(t), {"n": float(t)})
+        points = store.series("n")
+        assert len(points) == 3
+        assert points[0] == (7.0, 7.0)
+
+    def test_rate_and_delta_over_window(self):
+        store = TimeSeriesStore()
+        for t, value in [(0.0, 0.0), (5.0, 50.0), (10.0, 100.0)]:
+            store.record(t, {"n": value})
+        assert store.delta("n", 10.0) == 100.0
+        assert store.rate("n", 10.0) == 10.0
+        # A narrow window only sees the last two points.
+        assert store.rate("n", 5.0) == 10.0
+        assert store.delta("n", 5.0) == 50.0
+
+    def test_counter_reset_clamps_to_zero(self):
+        store = TimeSeriesStore()
+        store.record(0.0, {"n": 100.0})
+        store.record(1.0, {"n": 5.0})     # a worker restarted
+        assert store.delta("n", 10.0) == 0.0
+        assert store.rate("n", 10.0) == 0.0
+
+    def test_insufficient_points(self):
+        store = TimeSeriesStore()
+        assert store.rate("missing", 10.0) is None
+        store.record(0.0, {"n": 1.0})
+        assert store.rate("n", 10.0) is None
+        assert store.latest("n") == 1.0
+        assert store.latest("missing") is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(capacity=1)
+
+
+class TestDashboard:
+    def make_dir_source(self, tmp_path, requests=100):
+        registry = MetricsRegistry()
+        registry.counter("serve_requests_total").inc(requests)
+        registry.gauge("serve_cache_hit_ratio").set(0.5)
+        h = registry.histogram("serve_request_latency_seconds",
+                               buckets=(0.01, 0.1))
+        h.observe(0.05)
+        write_snapshot(registry, tmp_path / "telemetry", "serve", "a")
+        return DirectorySource(tmp_path)
+
+    def test_frame_renders_serve_block(self, tmp_path):
+        dashboard = Dashboard(self.make_dir_source(tmp_path))
+        dashboard.tick(now=100.0)
+        frame = dashboard.frame(now=100.0)
+        assert "repro obs top" in frame
+        assert "workers: 1" in frame
+        assert "p99" in frame
+        assert "cache hit" in frame
+        assert "alerts: none firing" in frame
+
+    def test_frame_shows_firing_alert_from_log(self, tmp_path):
+        source = self.make_dir_source(tmp_path)
+        events = [
+            {"rule": "latency-high", "state": "firing", "at_unix": 1.0,
+             "value": 0.5, "severity": "page",
+             "condition": "serve_request_latency_seconds.p99 > 0.25"},
+        ]
+        with open(tmp_path / "alerts.jsonl", "w") as handle:
+            for event in events:
+                handle.write(json.dumps(event) + "\n")
+        dashboard = Dashboard(source)
+        dashboard.tick(now=100.0)
+        frame = dashboard.frame(now=100.0)
+        assert "ALERTS FIRING (1)" in frame
+        assert "latency-high" in frame
+
+    def test_rates_from_two_ticks(self, tmp_path):
+        source = self.make_dir_source(tmp_path)
+        dashboard = Dashboard(source, window=30.0)
+        dashboard.tick(now=100.0)
+        # Re-publish with a larger total, 10 seconds later.
+        self.make_dir_source(tmp_path, requests=200)
+        dashboard.tick(now=110.0)
+        assert dashboard.store.rate("serve_requests_total", 30.0) == \
+            pytest.approx(10.0)
+        assert "rps" in dashboard.frame(now=110.0)
+
+    def test_worker_rows_for_sweep(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("train_steps_total").inc(42)
+        write_snapshot(registry, tmp_path / "telemetry", "sweep", "run-a")
+        dashboard = Dashboard(DirectorySource(tmp_path))
+        dashboard.tick(now=50.0)
+        frame = dashboard.frame(now=50.0)
+        assert "sweep-run-a" in frame
+        assert "steps" in frame
+
+    def test_firing_from_log_last_transition_wins(self):
+        events = [
+            {"rule": "a", "state": "firing"},
+            {"rule": "a", "state": "resolved"},
+            {"rule": "b", "state": "firing"},
+        ]
+        firing = firing_from_log(events)
+        assert [event["rule"] for event in firing] == ["b"]
+
+    def test_make_source_picks_directory_or_http(self, tmp_path):
+        assert isinstance(make_source(str(tmp_path)), DirectorySource)
+        http = make_source("http://127.0.0.1:9999")
+        assert http.target == "http://127.0.0.1:9999"
+        bare = make_source("127.0.0.1:9999")
+        assert bare.target == "http://127.0.0.1:9999"
+
+    def test_run_top_once_writes_frame(self, tmp_path):
+        from repro.obs.dashboard import run_top
+
+        stream = io.StringIO()
+        dashboard = run_top(self.make_dir_source(tmp_path), interval=0.01,
+                            frames=1, stream=stream, color=False)
+        output = stream.getvalue()
+        assert "repro obs top" in output
+        assert dashboard.samples == 1
+        assert "\x1b[" not in output    # color off -> no ANSI codes
