@@ -25,6 +25,11 @@ Commands mirror the flows API:
 * ``obs``      — telemetry readers: ``summary`` and ``tail`` a run's
   ``telemetry.jsonl``, ``trace`` to aggregate a span log or export it
   as Chrome ``trace_event`` JSON.  Numpy-free like ``train status``.
+* ``fleet``    — fleet-scale operations: ``up`` serves checkpoints
+  through a multi-worker router (shared cache, admission control,
+  backpressure), ``route`` batch-forecasts store samples through a
+  worker pool into a content-addressed artifact store, ``status``
+  reads a job spool and merged fleet telemetry.
 
 All experiment commands accept ``--scale {smoke,default,paper}``.
 """
@@ -336,6 +341,82 @@ def build_parser() -> argparse.ArgumentParser:
                                  "holding one")
     obs_alerts.add_argument("--json", action="store_true",
                             help="emit machine-readable JSON")
+
+    fleet = commands.add_parser(
+        "fleet", help="fleet-scale serving and batch forecasting: "
+                      "up/status/route")
+    fleet_commands = fleet.add_subparsers(dest="fleet_command",
+                                          required=True)
+
+    fleet_up = fleet_commands.add_parser(
+        "up", help="serve checkpoints over HTTP through a multi-worker "
+                   "router")
+    fleet_up.add_argument("--checkpoints", type=Path, required=True,
+                          help="directory of .npz model checkpoints")
+    fleet_up.add_argument("--workers", type=int, default=2,
+                          help="serving workers (default 2)")
+    fleet_up.add_argument("--mode", default="process",
+                          choices=["process", "thread"],
+                          help="worker isolation (process scales across "
+                               "cores; thread is cheaper to start)")
+    fleet_up.add_argument("--host", default="127.0.0.1")
+    fleet_up.add_argument("--port", type=int, default=8000,
+                          help="TCP port (0 binds an ephemeral port)")
+    fleet_up.add_argument("--max-batch", type=int, default=8,
+                          help="per-worker micro-batch size")
+    fleet_up.add_argument("--max-wait-ms", type=float, default=2.0,
+                          help="per-worker batch wait for stragglers")
+    fleet_up.add_argument("--cache-size", type=int, default=256,
+                          help="shared forecast LRU capacity "
+                               "(0 disables caching)")
+    fleet_up.add_argument("--max-inflight", type=int, default=256,
+                          help="admission control: reject (503) beyond "
+                               "this many in-flight requests")
+    fleet_up.add_argument("--queue-limit", type=int, default=32,
+                          help="backpressure: reject when every worker "
+                               "queue is this deep")
+    fleet_up.add_argument("--verbose", action="store_true",
+                          help="log every HTTP request")
+    fleet_up.add_argument("--obs-dir", type=Path, default=None,
+                          help="publish router + worker telemetry here "
+                               "for `repro obs agg/top`")
+    fleet_up.add_argument("--alert-rules", type=Path, default=None,
+                          help="JSON alert rules evaluated against the "
+                               "router registry")
+    fleet_up.add_argument("--publish-interval", type=float, default=2.0,
+                          help="seconds between telemetry publishes")
+
+    fleet_status = fleet_commands.add_parser(
+        "status", help="job spool counts and merged fleet telemetry")
+    fleet_status.add_argument("root", type=Path,
+                              help="a job spool directory (or a sweep "
+                                   "root holding jobs/)")
+    fleet_status.add_argument("--json", action="store_true",
+                              help="emit machine-readable JSON")
+
+    fleet_route = fleet_commands.add_parser(
+        "route", help="batch-forecast dataset samples through a worker "
+                      "pool into an artifact store")
+    fleet_route.add_argument("--checkpoints", type=Path, required=True,
+                             help="directory of .npz model checkpoints")
+    fleet_route.add_argument("--model", required=True,
+                             help="model id (checkpoint file stem)")
+    fleet_route.add_argument("--store", type=Path, required=True,
+                             help="sharded dataset store to read inputs "
+                                  "from")
+    fleet_route.add_argument("--artifacts", type=Path, required=True,
+                             help="content-addressed artifact store for "
+                                  "the forecasts")
+    fleet_route.add_argument("--count", type=int, default=None,
+                             help="samples to forecast (default: all)")
+    fleet_route.add_argument("--workers", type=int, default=2,
+                             help="pool worker processes (0/1 = serial)")
+    fleet_route.add_argument("--jobs", type=Path, default=None,
+                             help="job spool directory (default: "
+                                  "<artifacts>/jobs)")
+    fleet_route.add_argument("--out", type=Path, default=None,
+                             help="also materialize forecasts as .npy "
+                                  "files here")
 
     return parser
 
@@ -899,6 +980,147 @@ def cmd_obs(args) -> int:
     raise SystemExit(f"error: unknown obs command {args.obs_command!r}")
 
 
+def cmd_fleet(args) -> int:
+    try:
+        if args.fleet_command == "up":
+            return _fleet_up(args)
+        if args.fleet_command == "status":
+            return _fleet_status(args)
+        if args.fleet_command == "route":
+            return _fleet_route(args)
+    except (FileNotFoundError, ValueError) as error:
+        raise SystemExit(f"error: {error}") from None
+    raise SystemExit(f"error: unknown fleet command {args.fleet_command!r}")
+
+
+def _fleet_up(args) -> int:
+    from repro.fleet import FleetRouter, WorkerError
+    from repro.serve import ForecastCache, ForecastServer
+
+    cache = ForecastCache(args.cache_size) if args.cache_size else None
+    try:
+        router = FleetRouter.local(
+            args.checkpoints, workers=args.workers, mode=args.mode,
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+            cache=cache, obs_dir=args.obs_dir,
+            publish_interval=args.publish_interval,
+            max_inflight=args.max_inflight,
+            worker_queue_limit=args.queue_limit)
+    except (FileNotFoundError, ValueError, WorkerError) as error:
+        raise SystemExit(f"error: {error}") from None
+    server = ForecastServer(router, host=args.host, port=args.port,
+                            verbose=args.verbose, obs_dir=args.obs_dir,
+                            alert_rules=args.alert_rules,
+                            publish_interval=args.publish_interval)
+    with server:
+        print(f"fleet: {args.workers} {args.mode} worker(s) serving "
+              f"{len(router.registry)} model(s) on {server.url} "
+              f"(max_inflight={args.max_inflight}, "
+              f"queue_limit={args.queue_limit}, "
+              f"cache={args.cache_size})", flush=True)
+        if args.obs_dir is not None:
+            print(f"[obs] fleet telemetry -> {args.obs_dir} "
+                  f"(watch with: repro obs top {args.obs_dir})", flush=True)
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down fleet")
+    stats = router.stats()
+    print(f"routed {stats['completed']} forecast(s) across "
+          f"{stats['workers']} worker(s)")
+    return 0
+
+
+def _fleet_status(args) -> int:
+    import json as json_module
+
+    from repro.fleet.jobs import JobStore
+    from repro.obs.aggregate import aggregate_dir
+    from repro.obs.timeseries import flatten_export
+
+    root = args.root
+    if not root.exists():
+        raise SystemExit(f"error: no such directory: {root}")
+    # Accept either the spool itself or a parent holding jobs/.
+    spool = root if (root / "pending").is_dir() else root / "jobs"
+    payload: dict = {"root": str(root)}
+    if (spool / "pending").is_dir():
+        store = JobStore(spool)
+        payload["jobs"] = store.counts()
+    fleet = aggregate_dir(root)
+    if fleet.snapshots:
+        payload["workers"] = fleet.workers
+        payload["telemetry"] = {
+            name: value
+            for name, value in flatten_export(fleet.merged).items()
+            if name.startswith("fleet_") or name.startswith("serve_")}
+    if "jobs" not in payload and "telemetry" not in payload:
+        raise SystemExit(f"error: {root} holds neither a job spool nor "
+                         f"telemetry snapshots")
+    if args.json:
+        print(json_module.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    if "jobs" in payload:
+        counts = payload["jobs"]
+        total = sum(counts.values())
+        print(f"jobs ({total} total): "
+              + ", ".join(f"{state} {count}"
+                          for state, count in counts.items()))
+    if "telemetry" in payload:
+        print(f"workers publishing: {len(payload['workers'])} "
+              f"({', '.join(payload['workers'])})")
+        for name, value in sorted(payload["telemetry"].items()):
+            print(f"  {name:<40} {value:g}")
+    return 0
+
+
+def _fleet_route(args) -> int:
+    from repro.data import ShardedStore, StoreError
+    from repro.fleet import ArtifactStore, JobStore, WorkerPool
+
+    try:
+        store = ShardedStore.open(args.store)
+    except StoreError as error:
+        raise SystemExit(f"error: {error}") from None
+    count = store.num_samples if args.count is None \
+        else min(args.count, store.num_samples)
+    if count < 1:
+        raise SystemExit("error: nothing to forecast (empty store)")
+    spool_root = args.jobs if args.jobs is not None else args.artifacts / "jobs"
+    if spool_root.exists():
+        import shutil
+        shutil.rmtree(spool_root)
+    jobs = JobStore(spool_root)
+    for index in range(count):
+        jobs.submit("forecast", {
+            "checkpoints": str(args.checkpoints), "model": args.model,
+            "input": {"store": str(args.store), "index": index},
+            "artifacts": str(args.artifacts)})
+    print(f"routing {count} forecast job(s) through {args.workers} "
+          f"worker(s) -> {args.artifacts}")
+    counts = WorkerPool(spool_root, workers=args.workers).run_until_drained()
+    failed = jobs.jobs("failed")
+    for job in failed:
+        last_line = (job.error or "?").strip().splitlines()[-1]
+        print(f"  FAILED {job.job_id}: {last_line}")
+    artifacts = ArtifactStore(args.artifacts)
+    done = jobs.jobs("done")
+    for job in done:
+        print(f"  {job.job_id}: artifact {job.result['artifact'][:12]}")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            data = artifacts.read_bytes(job.result["artifact"])
+            (args.out / f"{job.job_id}.npy").write_bytes(data)
+    if args.out is not None and done:
+        print(f"materialized {len(done)} forecast(s) to {args.out}")
+    print(f"done: {counts['done']} ok, {counts['failed']} failed; "
+          f"store now holds {len(artifacts)} artifact(s)")
+    if failed:
+        raise SystemExit(f"{len(failed)} job(s) failed")
+    return 0
+
+
 _COMMANDS = {
     "datagen": cmd_datagen,
     "train": cmd_train,
@@ -909,6 +1131,7 @@ _COMMANDS = {
     "data": cmd_data,
     "eval": cmd_eval,
     "obs": cmd_obs,
+    "fleet": cmd_fleet,
 }
 
 

@@ -1,0 +1,46 @@
+"""repro.fleet — fleet-scale orchestration over the single-process stack.
+
+Three layers, all stdlib + numpy, all preserving the repo's exactness
+discipline (N workers produce byte-identical outputs to one):
+
+* :mod:`repro.fleet.artifacts` — content-addressed artifact store
+  converging dataset shards, training run directories, and serve
+  checkpoints behind one ``put`` / ``get`` / ``verify`` interface.
+* :mod:`repro.fleet.jobs` / :mod:`repro.fleet.pool` — file-backed job
+  spool with atomic claims, plus the worker pool that drains it across
+  N processes (train sweeps and batch forecasts route through this).
+* :mod:`repro.fleet.router` — multi-worker serve front: shared forecast
+  cache, admission control, queue-depth backpressure, and ``fleet_*``
+  telemetry, duck-typing the engine so
+  :class:`~repro.serve.http.ForecastServer` serves a fleet unchanged.
+"""
+
+from repro.fleet.artifacts import ArtifactError, ArtifactRef, ArtifactStore
+from repro.fleet.jobs import Job, JobError, JobStore
+from repro.fleet.pool import EXECUTORS, PoolError, WorkerPool, executor, worker_loop
+from repro.fleet.router import (
+    FleetBusyError,
+    FleetRouter,
+    ProcessWorker,
+    ThreadWorker,
+    WorkerError,
+)
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactRef",
+    "ArtifactStore",
+    "EXECUTORS",
+    "FleetBusyError",
+    "FleetRouter",
+    "Job",
+    "JobError",
+    "JobStore",
+    "PoolError",
+    "ProcessWorker",
+    "ThreadWorker",
+    "WorkerError",
+    "WorkerPool",
+    "executor",
+    "worker_loop",
+]

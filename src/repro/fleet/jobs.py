@@ -1,0 +1,259 @@
+"""File-backed job registry: the fleet's orchestration spool.
+
+A :class:`JobStore` is a directory of JSON job documents partitioned by
+state::
+
+    <root>/pending/<job-id>.json
+    <root>/running/<job-id>.json
+    <root>/done/<job-id>.json       # result embedded
+    <root>/failed/<job-id>.json     # error embedded
+
+The state *is* the directory — a job moves between states via atomic
+``os.rename``, which is also what makes claiming safe across processes:
+when N workers race to claim the same pending job, exactly one rename
+succeeds and the losers get ``FileNotFoundError`` and move on.  No
+locks, no daemons, no sockets; any process that can see the directory
+can submit, claim, or inspect work, which is exactly the property a
+multi-process worker pool (and a human with ``ls``) needs.
+
+Jobs are ordered: every submit records a monotonically increasing
+``submit_index``, claims walk pending ids in sorted order, and result
+collection sorts by the index — so a pool's output rows are invariant
+to worker count and completion order, matching the repo's exactness
+discipline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+STATES = (PENDING, RUNNING, DONE, FAILED)
+
+#: Name of the sentinel file a long-running pool polls to shut down.
+STOP_SENTINEL = "stop"
+
+
+class JobError(Exception):
+    """A malformed job document or an invalid state transition."""
+
+
+@dataclass
+class Job:
+    """One unit of fleet work (a JSON document on disk)."""
+
+    job_id: str
+    kind: str                      # "train" | "forecast" | ...
+    payload: dict
+    state: str = PENDING
+    submit_index: int = 0
+    worker: str | None = None      # who claimed it
+    result: dict | None = None     # set on done
+    error: str | None = None       # set on failed
+
+    def to_dict(self) -> dict:
+        return {"job_id": self.job_id, "kind": self.kind,
+                "payload": self.payload, "state": self.state,
+                "submit_index": self.submit_index, "worker": self.worker,
+                "result": self.result, "error": self.error}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "Job":
+        try:
+            return cls(job_id=document["job_id"], kind=document["kind"],
+                       payload=document["payload"],
+                       state=document.get("state", PENDING),
+                       submit_index=int(document.get("submit_index", 0)),
+                       worker=document.get("worker"),
+                       result=document.get("result"),
+                       error=document.get("error"))
+        except KeyError as missing:
+            raise JobError(f"job document missing key {missing}") from None
+
+
+class JobStore:
+    """Submit / claim / complete over a spool directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        for state in STATES:
+            (self.root / state).mkdir(parents=True, exist_ok=True)
+
+    def _path(self, state: str, job_id: str) -> Path:
+        return self.root / state / f"{job_id}.json"
+
+    def _write(self, state: str, job: Job) -> None:
+        path = self._path(state, job.job_id)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(job.to_dict(), sort_keys=True,
+                                      indent=1) + "\n")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, kind: str, payload: dict,
+               job_id: str | None = None) -> Job:
+        """Enqueue one job; returns it in ``pending`` state.
+
+        Auto-generated ids embed the submit index
+        (``<kind>-<index:05d>``); explicit ids must be unique across
+        every state directory.
+        """
+        explicit = job_id is not None
+        while True:
+            index = self._next_index()
+            current_id = job_id if explicit else f"{kind}-{index:05d}"
+            taken = next((state for state in STATES
+                          if self._path(state, current_id).exists()), None)
+            if taken is not None:
+                if explicit:
+                    raise JobError(f"job id {current_id!r} already exists "
+                                   f"({taken})")
+                continue   # another submitter landed this index; recompute
+            job = Job(job_id=current_id, kind=kind, payload=dict(payload),
+                      submit_index=index)
+            # Exclusive create: two submitters racing to the same
+            # auto-generated id cannot silently overwrite each other —
+            # the loser recomputes the index and retries.
+            try:
+                with open(self._path(PENDING, current_id), "x",
+                          encoding="utf-8") as handle:
+                    handle.write(json.dumps(job.to_dict(), sort_keys=True,
+                                            indent=1) + "\n")
+            except FileExistsError:
+                if explicit:
+                    raise JobError(
+                        f"job id {current_id!r} already exists") from None
+                continue
+            return job
+
+    def _next_index(self) -> int:
+        highest = -1
+        for state in STATES:
+            for path in (self.root / state).glob("*.json"):
+                try:
+                    document = json.loads(path.read_text())
+                    highest = max(highest,
+                                  int(document.get("submit_index", -1)))
+                except (json.JSONDecodeError, OSError, ValueError):
+                    continue
+        return highest + 1
+
+    # -- claiming ----------------------------------------------------------
+
+    def claim(self, worker: str) -> Job | None:
+        """Atomically move the oldest pending job to running, or ``None``.
+
+        Safe under concurrent claimers: the rename either succeeds (this
+        worker owns the job) or raises (another worker won; try the next
+        pending id).
+        """
+        pending_dir = self.root / PENDING
+        for path in sorted(pending_dir.glob("*.json")):
+            running = self._path(RUNNING, path.stem)
+            try:
+                os.rename(path, running)
+            except FileNotFoundError:
+                continue        # lost the race for this one
+            try:
+                job = Job.from_dict(json.loads(running.read_text()))
+            except (json.JSONDecodeError, JobError) as error:
+                failed = Job(job_id=path.stem, kind="?", payload={},
+                             state=FAILED, error=f"unreadable job: {error}")
+                self._write(FAILED, failed)
+                running.unlink(missing_ok=True)
+                continue
+            job.state = RUNNING
+            job.worker = worker
+            self._write(RUNNING, job)
+            return job
+        return None
+
+    # -- completion --------------------------------------------------------
+
+    def _finish(self, job: Job, state: str) -> None:
+        self._write(state, job)
+        self._path(RUNNING, job.job_id).unlink(missing_ok=True)
+
+    def complete(self, job: Job, result: dict) -> Job:
+        """Record a successful result and move the job to ``done``."""
+        job.state = DONE
+        job.result = dict(result)
+        self._finish(job, DONE)
+        return job
+
+    def fail(self, job: Job, error: str) -> Job:
+        """Record a failure and move the job to ``failed``."""
+        job.state = FAILED
+        job.error = str(error)
+        self._finish(job, FAILED)
+        return job
+
+    # -- inspection --------------------------------------------------------
+
+    def jobs(self, state: str | None = None) -> list[Job]:
+        """Jobs in one state (or all), sorted by submit order."""
+        states = [state] if state is not None else list(STATES)
+        found = []
+        for current in states:
+            for path in sorted((self.root / current).glob("*.json")):
+                try:
+                    job = Job.from_dict(json.loads(path.read_text()))
+                except (json.JSONDecodeError, JobError):
+                    continue
+                job.state = current   # the directory is the truth
+                found.append(job)
+        found.sort(key=lambda job: job.submit_index)
+        return found
+
+    def get(self, job_id: str) -> Job:
+        for state in STATES:
+            path = self._path(state, job_id)
+            if path.exists():
+                job = Job.from_dict(json.loads(path.read_text()))
+                job.state = state
+                return job
+        raise JobError(f"no job {job_id!r} under {self.root}")
+
+    def counts(self) -> dict:
+        """``{state: job count}`` for every state directory."""
+        return {state: len(list((self.root / state).glob("*.json")))
+                for state in STATES}
+
+    def outstanding(self) -> int:
+        counts = self.counts()
+        return counts[PENDING] + counts[RUNNING]
+
+    def wait(self, timeout: float | None = None,
+             poll: float = 0.05) -> bool:
+        """Block until no job is pending or running; ``False`` on timeout."""
+        deadline = (time.perf_counter() + timeout
+                    if timeout is not None else None)
+        while self.outstanding():
+            if deadline is not None and time.perf_counter() > deadline:
+                return False
+            time.sleep(poll)
+        return True
+
+    # -- pool shutdown sentinel -------------------------------------------
+
+    @property
+    def stop_requested(self) -> bool:
+        return (self.root / STOP_SENTINEL).exists()
+
+    def request_stop(self) -> None:
+        """Ask long-running pool workers to exit after their current job."""
+        (self.root / STOP_SENTINEL).touch()
+
+    def clear_stop(self) -> None:
+        (self.root / STOP_SENTINEL).unlink(missing_ok=True)

@@ -1,0 +1,269 @@
+"""Worker pool: N processes draining a :class:`~repro.fleet.jobs.JobStore`.
+
+Each worker process loops *claim → execute → complete/fail* against the
+shared spool directory; the executor for a job is looked up by its
+``kind`` in the module-level :data:`EXECUTORS` registry.  Two executors
+ship with the pool:
+
+* ``train`` — runs one :class:`~repro.train.spec.TrainSpec` document
+  through the PR 5 :class:`~repro.train.runner.Runner` (the sweep driver
+  routes its runs through this);
+* ``forecast`` — loads a checkpoint (cached per process), forecasts one
+  input drawn from a dataset store or an artifact, and puts the result
+  into a content-addressed :class:`~repro.fleet.artifacts.ArtifactStore`.
+
+Because every executor is deterministic and every job is independent,
+the pool's outputs are worker-count invariant: N workers produce the
+same result rows, the same artifact digests, and byte-identical blobs
+as a serial drain.
+
+Workers publish live telemetry (jobs claimed/done/failed, per-kind
+timings) through :class:`repro.obs.publish.TelemetryPublisher` into
+``<spool>/telemetry/``, so ``repro obs top <spool>`` watches a pool the
+same way it watches a sweep or a serve fleet.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import multiprocessing
+import time
+import traceback
+from pathlib import Path
+
+from repro.fleet.jobs import JobStore
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.publish import TELEMETRY_DIR, TelemetryPublisher
+
+#: kind -> callable(payload: dict) -> dict.  Executors must be importable
+#: module-level functions so spawn-start workers resolve them too.
+EXECUTORS: dict = {}
+
+
+def executor(kind: str):
+    """Register an executor for a job kind (decorator)."""
+    def register(fn):
+        EXECUTORS[kind] = fn
+        return fn
+    return register
+
+
+class PoolError(Exception):
+    """The pool was misconfigured or a worker died unexpectedly."""
+
+
+# -- built-in executors ----------------------------------------------------
+
+@executor("train")
+def run_train_job(payload: dict) -> dict:
+    """Execute one train spec under a runs root (the sweep's unit).
+
+    Payload: ``{"root": runs_root, "spec": <TrainSpec document>}``.
+    Returns the sweep summary row (never raises on a failed run — the
+    row carries the error, matching the sweep driver's contract).
+    """
+    from repro.train.sweep import _run_one
+    return _run_one(payload["root"], payload["spec"])
+
+
+# One warm registry per checkpoint directory per worker process — the
+# forecast executor's equivalent of the serve registry's warm loading.
+_MODEL_REGISTRIES: dict = {}
+
+
+def _registry_for(checkpoints: str):
+    from repro.serve.registry import ModelRegistry
+    registry = _MODEL_REGISTRIES.get(checkpoints)
+    if registry is None:
+        registry = ModelRegistry.from_directory(checkpoints)
+        _MODEL_REGISTRIES[checkpoints] = registry
+    return registry
+
+
+def _load_forecast_input(payload: dict):
+    """The (C, H, W) input named by a forecast payload.
+
+    Either ``{"store": <dataset store root>, "index": i}`` (sample i of
+    the sharded store, shard-local read) or ``{"artifact_store": root,
+    "artifact": digest}`` (a ``.npy`` payload in the artifact store).
+    """
+    import numpy as np
+
+    source = payload["input"]
+    if "store" in source:
+        from repro.data.store import ShardedStore
+        store = ShardedStore.open(source["store"])
+        index = int(source["index"])
+        if not 0 <= index < store.num_samples:
+            raise ValueError(f"sample index {index} out of range "
+                             f"(store has {store.num_samples})")
+        for shard_index in range(store.num_shards):
+            shard = store.manifest["shards"][shard_index]
+            if index < shard["num_samples"]:
+                return store.load_shard(shard_index)[index].x
+            index -= shard["num_samples"]
+        raise ValueError(f"sample index walked off the shard table")
+    if "artifact" in source:
+        from repro.fleet.artifacts import ArtifactStore
+        artifacts = ArtifactStore(source["artifact_store"])
+        data = artifacts.read_bytes(source["artifact"])
+        return np.load(io.BytesIO(data))
+    raise ValueError(f"forecast input needs 'store' or 'artifact', "
+                     f"got {sorted(source)}")
+
+
+@executor("forecast")
+def run_forecast_job(payload: dict) -> dict:
+    """Forecast one input and store the result content-addressed.
+
+    Payload::
+
+        {"checkpoints": <dir>, "model": <id>,
+         "input": {"store": ..., "index": ...} | {"artifact_store": ...,
+                                                  "artifact": ...},
+         "artifacts": <artifact store root>}
+
+    Returns ``{"artifact": <forecast artifact digest>, ...}``.  The
+    forecast is deterministic, so the digest is worker-count invariant.
+    """
+    import numpy as np
+
+    from repro.fleet.artifacts import ArtifactStore
+    from repro.serve.cache import input_digest
+
+    registry = _registry_for(str(payload["checkpoints"]))
+    model_id = payload["model"]
+    model = registry.get(model_id)
+    x = np.asarray(_load_forecast_input(payload), dtype=np.float32)
+    image = model.forecast(x)
+    digest = input_digest(x)
+    buffer = io.BytesIO()
+    np.save(buffer, image)
+    artifacts = ArtifactStore(payload["artifacts"])
+    ref = artifacts.put_bytes(
+        buffer.getvalue(), name=f"{model_id}-{digest[:12]}.npy",
+        kind="forecast",
+        meta={"model_id": model_id, "input_digest": digest,
+              "shape": list(image.shape)})
+    return {"artifact": ref.digest, "model": model_id,
+            "input_digest": digest}
+
+
+# -- the worker loop -------------------------------------------------------
+
+def worker_loop(root: str, worker_id: str, drain: bool = True,
+                poll: float = 0.05, publish: bool = True) -> dict:
+    """Claim and execute jobs until the spool drains (or stop is asked).
+
+    ``drain=True`` exits once no pending job remains; ``drain=False``
+    keeps polling until the store's stop sentinel appears.  Returns this
+    worker's counters.  Runs in-process — the pool spawns it in worker
+    processes, tests call it directly.
+    """
+    store = JobStore(root)
+    metrics = MetricsRegistry()
+    claimed = metrics.counter("fleet_jobs_claimed_total",
+                              "Jobs this worker claimed.")
+    done = metrics.counter("fleet_jobs_done_total",
+                           "Jobs this worker completed.")
+    failed = metrics.counter("fleet_jobs_failed_total",
+                             "Jobs this worker failed.")
+    seconds = metrics.counter("fleet_job_seconds_total",
+                              "Wall seconds spent executing jobs.",
+                              labelnames=("kind",))
+    publisher = None
+    if publish:
+        publisher = TelemetryPublisher(
+            metrics, Path(root) / TELEMETRY_DIR, role="pool",
+            worker=worker_id, interval=1.0)
+        publisher.start()
+    try:
+        while True:
+            job = store.claim(worker_id)
+            if job is None:
+                if drain or store.stop_requested:
+                    break
+                time.sleep(poll)
+                continue
+            claimed.inc()
+            start = time.perf_counter()
+            try:
+                fn = EXECUTORS.get(job.kind)
+                if fn is None:
+                    raise PoolError(f"no executor for job kind "
+                                    f"{job.kind!r} (have "
+                                    f"{sorted(EXECUTORS)})")
+                result = fn(job.payload)
+                store.complete(job, result if isinstance(result, dict)
+                               else {"result": result})
+                done.inc()
+            except Exception:
+                store.fail(job, traceback.format_exc(limit=8))
+                failed.inc()
+            seconds.labels(kind=job.kind).inc(
+                time.perf_counter() - start)
+    finally:
+        if publisher is not None:
+            publisher.stop()
+    return {"claimed": int(claimed.value), "done": int(done.value),
+            "failed": int(failed.value)}
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class WorkerPool:
+    """Fan a job spool across N worker processes.
+
+    ``workers <= 1`` drains the spool serially in-process — handy for
+    tests and the invariance guarantee's reference side.
+    """
+
+    def __init__(self, root: str | Path, workers: int = 2,
+                 publish: bool = True):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.root = Path(root)
+        self.workers = workers
+        self.publish = publish
+
+    def run_until_drained(self, timeout: float | None = None) -> dict:
+        """Execute every pending job; returns the job-state counts.
+
+        Worker processes exit when the pending directory is empty.
+        Raises :class:`PoolError` if the drain does not finish within
+        ``timeout`` seconds.
+        """
+        store = JobStore(self.root)
+        if self.workers <= 1:
+            worker_loop(str(self.root), "w0", drain=True,
+                        publish=self.publish)
+        else:
+            ctx = _mp_context()
+            processes = [
+                ctx.Process(target=worker_loop,
+                            args=(str(self.root), f"w{index}"),
+                            kwargs={"drain": True,
+                                    "publish": self.publish},
+                            daemon=True)
+                for index in range(self.workers)]
+            for process in processes:
+                process.start()
+            deadline = (time.monotonic() + timeout
+                        if timeout is not None else None)
+            for process in processes:
+                remaining = (None if deadline is None
+                             else max(0.0, deadline - time.monotonic()))
+                process.join(remaining)
+            alive = [p for p in processes if p.is_alive()]
+            if alive:
+                for process in alive:
+                    process.terminate()
+                raise PoolError(
+                    f"{len(alive)} pool worker(s) still running after "
+                    f"{timeout}s")
+        return store.counts()

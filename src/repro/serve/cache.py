@@ -83,18 +83,22 @@ class ForecastCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        # Both counters under the lock: an unlocked read could pair a
+        # fresh hit count with a stale total and report a rate > 1.
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        """Counters snapshot for ``/metrics``."""
+        """Counters snapshot for ``/metrics`` (one consistent read)."""
         with self._lock:
-            size = len(self._entries)
-        return {
-            "capacity": self.capacity,
-            "size": size,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+            hits, misses = self.hits, self.misses
+            total = hits + misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": hits,
+                "misses": misses,
+                "evictions": self.evictions,
+                "hit_rate": hits / total if total else 0.0,
+            }

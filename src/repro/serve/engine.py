@@ -52,6 +52,8 @@ class _Request:
     digest: str | None
     future: Future
     submitted_at: float
+    deadline: float | None = None   # perf_counter time after which the
+                                    # caller has given up on the result
 
 
 _STOP = object()
@@ -120,11 +122,19 @@ class BatchingEngine:
         # request than queue.Queue on the single-worker hot path.
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         # The registry is append-only (re-registration raises), so model
-        # and expected-shape lookups are memoized off the hot path's lock.
+        # and expected-shape lookups are memoized.  The memo dict is
+        # written from every submitter thread and read by the worker, so
+        # it gets its own lock (cheap: one uncontended acquire per call).
         self._model_cache: dict[str, tuple] = {}
+        self._model_lock = threading.Lock()
         self._stack_bufs: dict[tuple, np.ndarray] = {}
         self._worker: threading.Thread | None = None
         self._stopping = False
+        # Serializes the stopping-flag check against enqueueing: a submit
+        # holding this lock either lands its request ahead of the _STOP
+        # marker (so the drain loop serves it) or observes _stopping and
+        # raises — a request can never slip in after the drain.
+        self._submit_lock = threading.Lock()
         self._register_metrics()
 
     def _register_metrics(self) -> None:
@@ -150,6 +160,10 @@ class BatchingEngine:
             "serve_batch_occupancy",
             "Requests per served micro-batch.",
             buckets=range(1, self.max_batch + 1))
+        self._m_expired = m.counter(
+            "serve_expired_total",
+            "Requests dropped unserved because their deadline passed "
+            "while they sat in the batch queue.")
         m.gauge("serve_queue_depth", "Requests waiting in the batch queue.",
                 fn=self._queue.qsize)
         m.gauge("serve_workspace_bytes",
@@ -207,8 +221,13 @@ class BatchingEngine:
         worker = self._worker
         if worker is None:
             return
-        self._stopping = True
-        self._queue.put(_STOP)
+        with self._submit_lock:
+            # Atomic with submit's check: everything enqueued before the
+            # _STOP marker is served by the drain loop; every submit that
+            # loses the race observes _stopping and raises instead of
+            # enqueueing a request nobody will ever resolve.
+            self._stopping = True
+            self._queue.put(_STOP)
         worker.join(timeout)
         if worker.is_alive():
             raise RuntimeError(
@@ -241,11 +260,18 @@ class BatchingEngine:
 
     # -- request paths -----------------------------------------------------
 
-    def submit(self, model_id: str, x: np.ndarray) -> Future:
+    def submit(self, model_id: str, x: np.ndarray,
+               timeout: float | None = None) -> Future:
         """Enqueue one input; the future resolves to a :class:`ForecastResult`.
 
         ``x`` is a single (C, H, W) input in [-1, 1] matching the model's
         configured channels and image size.  Cache hits resolve immediately.
+
+        ``timeout`` marks the request with a deadline ``timeout`` seconds
+        from now: if the worker reaches it after the deadline passed (the
+        caller has already given up), it is dropped instead of burning a
+        batch slot on a result nobody reads, and its future fails with
+        ``TimeoutError``.
         """
         if self._stopping or not self.running:
             raise RuntimeError("engine is not running (call start())")
@@ -277,19 +303,27 @@ class BatchingEngine:
                 self._observe_drift(model_id, hit, digest)
                 return future
         self._m_requests.inc()
-        self._queue.put(_Request(model_id=model_id, x=x, digest=digest,
-                                 future=future, submitted_at=now))
+        request = _Request(
+            model_id=model_id, x=x, digest=digest, future=future,
+            submitted_at=now,
+            deadline=now + timeout if timeout is not None else None)
+        with self._submit_lock:
+            if self._stopping:
+                raise RuntimeError(
+                    "engine is stopping; request rejected")
+            self._queue.put(request)
         return future
 
     def _lookup(self, model_id: str) -> tuple:
-        cached = self._model_cache.get(model_id)
-        if cached is None:
-            model = self.registry.get(model_id)
-            cfg = model.config
-            cached = (model, (cfg.input_channels, cfg.image_size,
-                              cfg.image_size))
-            self._model_cache[model_id] = cached
-        return cached
+        with self._model_lock:
+            cached = self._model_cache.get(model_id)
+            if cached is None:
+                model = self.registry.get(model_id)
+                cfg = model.config
+                cached = (model, (cfg.input_channels, cfg.image_size,
+                                  cfg.image_size))
+                self._model_cache[model_id] = cached
+            return cached
 
     def forecast(self, model_id: str, x: np.ndarray,
                  timeout: float | None = 30.0) -> np.ndarray:
@@ -298,8 +332,14 @@ class BatchingEngine:
 
     def forecast_result(self, model_id: str, x: np.ndarray,
                         timeout: float | None = 30.0) -> ForecastResult:
-        """Blocking wrapper returning the full :class:`ForecastResult`."""
-        return self.submit(model_id, x).result(timeout=timeout)
+        """Blocking wrapper returning the full :class:`ForecastResult`.
+
+        The timeout is propagated onto the queued request as a deadline,
+        so a request this caller gives up on is also dropped by the
+        worker instead of occupying a batch slot.
+        """
+        return self.submit(model_id, x, timeout=timeout).result(
+            timeout=timeout)
 
     # -- worker ------------------------------------------------------------
 
@@ -338,6 +378,24 @@ class BatchingEngine:
 
     def _serve_batch(self, batch: list[_Request]) -> None:
         tracer = self.tracer
+        # Deadline check happens here — the last moment before real work
+        # starts — so a request whose caller timed out while it queued
+        # never reaches the (expensive) stacked forward.
+        now = time.perf_counter()
+        expired = [request for request in batch
+                   if request.deadline is not None
+                   and now > request.deadline]
+        if expired:
+            self._m_expired.inc(len(expired))
+            for request in expired:
+                request.future.set_exception(TimeoutError(
+                    f"request expired after "
+                    f"{now - request.submitted_at:.3f}s in queue"))
+            batch = [request for request in batch
+                     if request.deadline is None
+                     or now <= request.deadline]
+            if not batch:
+                return
         self._m_occupancy.observe(len(batch))
         if tracer.enabled:
             # Queue wait per request: submitted_at is a perf_counter
@@ -438,6 +496,7 @@ class BatchingEngine:
         completed = latency.count
         snapshot = {
             "requests": int(self._m_requests.value),
+            "expired": int(self._m_expired.value),
             "completed": completed,
             "batches": batches,
             "batched_requests": batched_requests,

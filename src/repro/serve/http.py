@@ -14,6 +14,9 @@ Endpoints:
   monitor signals.  Rules are (re)evaluated against the live registry
   on every poll, so the endpoint works with or without a background
   publisher.
+* ``GET /fleet/status`` — per-worker queue depths and routing counters
+  when the server fronts a :class:`~repro.fleet.router.FleetRouter`
+  (404 on a single-engine server).
 * ``POST /v1/forecast`` — run one forecast.  Body is JSON with ``model``
   plus either ``input`` (a nested ``(C, H, W)`` list in [-1, 1]) or
   ``place_image`` (``(H, W, 3)`` in [0, 1]) with ``connect_image``
@@ -161,6 +164,14 @@ class _Handler(BaseHTTPRequestHandler):
             elif self.path == "/alerts":
                 self._count("/alerts")
                 self._send_json(200, self.api.alerts_payload())
+            elif self.path == "/fleet/status":
+                # Only meaningful when the "engine" is a FleetRouter
+                # (anything exposing fleet_status()); single engines 404.
+                if not hasattr(self.api.engine, "fleet_status"):
+                    raise ApiError(404, "not a fleet front "
+                                        "(single-engine server)")
+                self._count("/fleet/status")
+                self._send_json(200, self.api.engine.fleet_status())
             elif self.path == "/metrics":
                 self._count("/metrics")
                 # Content negotiation: Prometheus text by default, the
@@ -314,8 +325,14 @@ class ForecastServer:
             self.publisher.start()
         return self
 
-    def stop(self) -> None:
-        """Stop accepting connections, then stop the engine."""
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop accepting connections, then stop the engine.
+
+        Raises ``RuntimeError`` (like :meth:`BatchingEngine.stop`) if the
+        serving thread is still alive after ``timeout`` — a wedged
+        handler would otherwise silently leak a thread bound to the
+        port, and the next bind on it would fail mysteriously.
+        """
         if self.publisher is not None:
             self.publisher.stop()   # leaves the final exact snapshot
             self.publisher = None
@@ -324,7 +341,12 @@ class ForecastServer:
             self._httpd.server_close()
             self._httpd = None
         if self._thread is not None:
-            self._thread.join(timeout=10.0)
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise RuntimeError(
+                    f"HTTP serving thread did not stop within {timeout}s "
+                    f"(a handler is wedged; port {self.port} is still "
+                    f"held)")
             self._thread = None
         self.engine.stop()
 

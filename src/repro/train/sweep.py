@@ -23,7 +23,6 @@ on or off.
 from __future__ import annotations
 
 import json
-import multiprocessing
 from pathlib import Path
 
 import numpy as np
@@ -141,30 +140,68 @@ def _run_one(root: str, spec_dict: dict) -> dict:
         }
 
 
-def _pool_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn")
+#: Spool directory for a sweep's fleet jobs, under the sweep root.
+JOBS_DIR = "jobs"
+
+
+def _run_parallel(root: Path, spec_dicts: list[dict],
+                  workers: int) -> list[dict]:
+    """Fan the specs across a fleet worker pool; rows in submit order.
+
+    Each spec becomes a ``train`` job in a file-backed spool under
+    ``<root>/jobs``; N pool workers claim and execute them.  The spool
+    doubles as the sweep's flight recorder — ``repro fleet status
+    <root>/jobs`` shows progress, and ``repro obs top <root>`` sees the
+    pool workers' telemetry alongside the runs'.
+    """
+    import shutil
+
+    from repro.fleet.jobs import DONE, JobStore
+    from repro.fleet.pool import WorkerPool
+
+    spool = root / JOBS_DIR
+    if spool.exists():
+        # Stale spools hold finished job ids from earlier invocations;
+        # run state lives in the run directories (and _run_one's skip
+        # logic), so the spool itself is safe to rebuild.
+        shutil.rmtree(spool)
+    store = JobStore(spool)
+    for document in spec_dicts:
+        store.submit("train", {"root": str(root), "spec": document})
+    WorkerPool(spool, workers=workers).run_until_drained()
+    rows = []
+    for job in store.jobs():          # sorted by submit order
+        if job.state == DONE:
+            rows.append(job.result)
+        else:   # executor crashed outside _run_one's own try/except
+            rows.append({
+                "name": job.payload.get("spec", {}).get("name", job.job_id),
+                "seed": job.payload.get("spec", {}).get("seed"),
+                "run_dir": str(root / job.payload.get("spec", {})
+                               .get("name", job.job_id)),
+                "status": "failed",
+                "error": (job.error or "job did not finish").strip()
+                         .splitlines()[-1],
+            })
+    return rows
 
 
 def run_sweep(specs: list[TrainSpec], root: str | Path,
               workers: int = 0, log=None) -> list[dict]:
     """Execute every spec under ``root``; returns per-run summary rows.
 
-    ``workers <= 1`` runs serially in-process.  Runs are independent
-    (each owns its directory and derives nothing from the others), so
-    the artifacts are identical for any worker count; only the summary
-    order is normalized (sweep-file order).  The summary is also written
-    to ``<root>/sweep.json``.
+    ``workers <= 1`` runs serially in-process; more workers fan the
+    specs through the fleet job spool (:func:`_run_parallel`).  Runs are
+    independent (each owns its directory and derives nothing from the
+    others), so the artifacts are identical for any worker count; only
+    the summary order is normalized (sweep-file order).  The summary is
+    also written to ``<root>/sweep.json``.
     """
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
     spec_dicts = [spec.to_dict() for spec in specs]
     if workers and workers > 1:
-        with _pool_context().Pool(processes=workers) as pool:
-            rows = pool.starmap(
-                _run_one, [(str(root), document)
-                           for document in spec_dicts])
+        rows = _run_parallel(root, spec_dicts, workers)
     else:
         rows = [_run_one(str(root), document) for document in spec_dicts]
     if log is not None:

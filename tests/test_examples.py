@@ -123,6 +123,18 @@ class TestExamples:
         telemetry = fleet_dir / "sweep" / "telemetry"
         assert len(list(telemetry.glob("sweep-*.json"))) == 2
 
+    def test_fleet_quickstart(self, tmp_path, out_dir):
+        result = run_example("fleet_quickstart.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "digests byte-identical across worker counts" in result.stdout
+        assert "cached repeat" in result.stdout
+        assert "repro obs top" in result.stdout
+        assert "fleet_routed_total" in result.stdout
+        quickstart = out_dir / "fleet_quickstart"
+        assert (quickstart / "registry" / "artifacts").is_dir()
+        assert list((quickstart / "telemetry" / "telemetry")
+                    .glob("*.json"))
+
     def test_packing_flow(self, tmp_path, out_dir):
         result = run_example("packing_flow.py", tmp_path)
         assert result.returncode == 0, result.stderr

@@ -1,0 +1,251 @@
+"""Fleet router: byte identity, shared cache, admission, backpressure."""
+
+import json
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_tiny_model
+from repro.fleet import FleetBusyError, FleetRouter, ThreadWorker
+from repro.serve import (
+    BatchingEngine,
+    ForecastCache,
+    ForecastServer,
+    ModelRegistry,
+)
+
+
+def _registry(model=None):
+    registry = ModelRegistry()
+    registry.register("tiny", model if model is not None
+                      else make_tiny_model())
+    return registry
+
+
+def _thread_router(workers=2, **kwargs):
+    built = [ThreadWorker(f"w{i}", _registry()) for i in range(workers)]
+    return FleetRouter(built, _registry(), **kwargs)
+
+
+class SlowModel:
+    """Delegates everything to a real model, but forecasts slowly —
+    pins requests in flight so saturation states are testable."""
+
+    def __init__(self, inner, delay: float = 0.3):
+        self._inner = inner
+        self._delay = delay
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def forecast(self, x):
+        time.sleep(self._delay)
+        return self._inner.forecast(x)
+
+
+@pytest.fixture()
+def inputs():
+    rng = np.random.default_rng(11)
+    return [rng.normal(size=(4, 16, 16)).astype(np.float32)
+            for _ in range(12)]
+
+
+class TestByteIdentity:
+    def test_four_workers_match_single_engine_shuffled(self, inputs):
+        """The acceptance bar: a 4-worker fleet returns bit-identical
+        forecasts to one engine, regardless of arrival order."""
+        with BatchingEngine(_registry()) as engine:
+            reference = [engine.forecast_result("tiny", x).image
+                         for x in inputs]
+        order = list(np.random.default_rng(5).permutation(len(inputs)))
+        with _thread_router(workers=4) as router:
+            futures = {index: router.submit("tiny", inputs[index],
+                                            timeout=60.0)
+                       for index in order}
+            images = {index: future.result(60.0).image
+                      for index, future in futures.items()}
+        for index, expected in enumerate(reference):
+            assert np.array_equal(images[index], expected)
+
+    def test_process_workers_match_single_engine(self, tmp_path, inputs):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        model = make_tiny_model()
+        model.save(ckpt / "tiny.npz")
+        reference = [model.forecast(x) for x in inputs[:4]]
+        router = FleetRouter.local(ckpt, workers=2, mode="process")
+        with router:
+            futures = [router.submit("tiny", x, timeout=120.0)
+                       for x in inputs[:4]]
+            images = [future.result(120.0).image for future in futures]
+        for expected, image in zip(reference, images):
+            assert np.array_equal(image, expected)
+
+
+class TestSharedCache:
+    def test_cache_hit_crosses_workers(self, inputs):
+        cache = ForecastCache(32)
+        with _thread_router(workers=2, cache=cache) as router:
+            # Pin w0 so the miss computes on w1; the repeat request
+            # would route to w0, but the shared cache answers first.
+            router.workers[0]._depth = 99
+            miss = router.forecast_result("tiny", inputs[0], timeout=30.0)
+            router.workers[0]._depth = 0
+            hit = router.forecast_result("tiny", inputs[0], timeout=30.0)
+            stats = router.stats()
+        assert miss.cached is False and hit.cached is True
+        assert stats["routed_by_worker"] == {"w1": 1}
+        assert cache.hits == 1
+        assert np.array_equal(miss.image, hit.image)
+
+    def test_cache_hit_counts_in_latency_not_routing(self, inputs):
+        with _thread_router(workers=1, cache=ForecastCache(8)) as router:
+            router.forecast_result("tiny", inputs[0])
+            router.forecast_result("tiny", inputs[0])
+            stats = router.stats()
+        assert stats["requests"] == 2
+        assert stats["completed"] == 2
+        assert sum(stats["routed_by_worker"].values()) == 1
+
+
+class TestSaturation:
+    def _slow_router(self, **kwargs):
+        registry = ModelRegistry()
+        registry.register("tiny", SlowModel(make_tiny_model()))
+        worker = ThreadWorker("w0", registry)
+        return FleetRouter([worker], _registry(), **kwargs)
+
+    def test_admission_control_rejects_beyond_max_inflight(self, inputs):
+        with self._slow_router(max_inflight=2,
+                               worker_queue_limit=64) as router:
+            first = router.submit("tiny", inputs[0], timeout=30.0)
+            second = router.submit("tiny", inputs[1], timeout=30.0)
+            with pytest.raises(FleetBusyError, match="max_inflight") \
+                    as rejected:
+                router.submit("tiny", inputs[2], timeout=30.0)
+            assert rejected.value.reason == "admission"
+            first.result(30.0)
+            second.result(30.0)
+            # Capacity returns once the fleet drains.
+            router.forecast_result("tiny", inputs[2], timeout=30.0)
+            stats = router.stats()
+        assert stats["rejected"] == {"admission": 1}
+
+    def test_backpressure_rejects_on_deep_worker_queues(self, inputs):
+        with self._slow_router(max_inflight=64,
+                               worker_queue_limit=1) as router:
+            pending = router.submit("tiny", inputs[0], timeout=30.0)
+            with pytest.raises(FleetBusyError, match="queue") as rejected:
+                router.submit("tiny", inputs[1], timeout=30.0)
+            assert rejected.value.reason == "backpressure"
+            pending.result(30.0)
+            stats = router.stats()
+        assert stats["rejected"] == {"backpressure": 1}
+
+    def test_rejection_is_a_runtime_error(self):
+        # The HTTP layer maps RuntimeError -> 503; saturation must
+        # stay on that path.
+        assert issubclass(FleetBusyError, RuntimeError)
+
+
+class TestRouting:
+    def test_concurrent_load_spreads_across_workers(self, inputs):
+        with _thread_router(workers=3) as router:
+            futures = [router.submit("tiny", x, timeout=60.0)
+                       for x in inputs]
+            for future in futures:
+                future.result(60.0)
+            routed = router.stats()["routed_by_worker"]
+        assert sum(routed.values()) == len(inputs)
+        assert len(routed) > 1           # more than one worker served
+
+    def test_unknown_model_raises_keyerror(self, inputs):
+        with _thread_router(workers=1) as router:
+            with pytest.raises(KeyError):
+                router.submit("nope", inputs[0])
+
+    def test_wrong_shape_rejected(self):
+        with _thread_router(workers=1) as router:
+            with pytest.raises(ValueError, match="expects input shape"):
+                router.submit("tiny", np.zeros((4, 8, 8), dtype=np.float32))
+
+    def test_submit_requires_running_router(self, inputs):
+        router = _thread_router(workers=1)
+        with pytest.raises(RuntimeError, match="not running"):
+            router.submit("tiny", inputs[0])
+
+    def test_duplicate_worker_ids_rejected(self):
+        workers = [ThreadWorker("w0", _registry()),
+                   ThreadWorker("w0", _registry())]
+        with pytest.raises(ValueError, match="duplicate"):
+            FleetRouter(workers, _registry())
+
+
+class TestHttpFront:
+    def test_forecast_server_serves_a_fleet(self, inputs):
+        router = _thread_router(workers=2, cache=ForecastCache(16))
+        with ForecastServer(router, port=0) as server:
+            body = json.dumps({"model": "tiny",
+                               "input": inputs[0].tolist()}).encode()
+            request = urllib.request.Request(
+                f"{server.url}/v1/forecast", data=body,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request) as response:
+                first = json.loads(response.read())
+            with urllib.request.urlopen(request) as response:
+                second = json.loads(response.read())
+            with urllib.request.urlopen(
+                    f"{server.url}/fleet/status") as response:
+                status = json.loads(response.read())
+        assert first["cached"] is False and second["cached"] is True
+        assert first["forecast"] == second["forecast"]
+        assert status["stats"]["requests"] == 2
+        assert [worker["id"] for worker in status["workers"]] \
+            == ["w0", "w1"]
+        assert status["models"] == ["tiny"]
+        assert not router.running
+
+    def test_fleet_status_404_on_single_engine(self, tiny_model):
+        registry = ModelRegistry()
+        registry.register("tiny", tiny_model)
+        engine = BatchingEngine(registry)
+        with ForecastServer(engine, port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as failure:
+                urllib.request.urlopen(f"{server.url}/fleet/status")
+            assert failure.value.code == 404
+
+    def test_prometheus_exposition_has_fleet_metrics(self, inputs):
+        router = _thread_router(workers=1)
+        with ForecastServer(router, port=0) as server:
+            router.forecast_result("tiny", inputs[0])
+            with urllib.request.urlopen(
+                    f"{server.url}/metrics") as response:
+                text = response.read().decode()
+        assert "fleet_requests_total 1" in text
+        assert "fleet_routed_total" in text
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent_surface(self, inputs):
+        router = _thread_router(workers=2)
+        router.start()
+        router.forecast_result("tiny", inputs[0])
+        router.stop()
+        assert not router.running
+        assert all(not worker.alive for worker in router.workers)
+
+    def test_start_twice_rejected(self):
+        router = _thread_router(workers=1)
+        with router:
+            with pytest.raises(RuntimeError, match="already running"):
+                router.start()
+
+    def test_router_validates_limits(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            _thread_router(workers=1, max_inflight=0)
+        with pytest.raises(ValueError, match="worker_queue_limit"):
+            _thread_router(workers=1, worker_queue_limit=0)
+        with pytest.raises(ValueError, match="at least one"):
+            FleetRouter([], _registry())

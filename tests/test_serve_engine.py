@@ -234,3 +234,127 @@ class TestObservability:
         assert stats["cache_hits"] == 0
         assert stats["cache_misses"] == 0
         assert "cache" not in stats
+
+
+class _SlowForecast:
+    """Delegates to a real model but sleeps per forward — lets tests
+    park requests in the queue long enough to expire or race stop."""
+
+    def __init__(self, inner, delay: float = 0.2):
+        self._inner = inner
+        self._delay = delay
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def forecast(self, x):
+        time.sleep(self._delay)
+        return self._inner.forecast(x)
+
+
+class TestShutdownRaces:
+    def test_submit_vs_stop_no_hung_futures(self, registry, tiny_inputs):
+        """Regression: submit racing stop used to enqueue after the
+        worker exited, leaving futures that never resolved.  Every
+        accepted future must be settled once stop() returns; late
+        arrivals must be rejected loudly, never parked."""
+        x = tiny_inputs[0]
+        for _ in range(200):
+            engine = BatchingEngine(registry, max_batch=4,
+                                    max_wait_ms=0.0)
+            engine.start()
+            accepted: list = []
+            rejected = threading.Event()
+
+            def submit_until_rejected():
+                while True:
+                    try:
+                        accepted.append(engine.submit("tiny", x))
+                    except RuntimeError:
+                        rejected.set()
+                        return
+
+            submitter = threading.Thread(target=submit_until_rejected)
+            submitter.start()
+            engine.stop()
+            submitter.join(timeout=30.0)
+            assert not submitter.is_alive()
+            assert rejected.is_set()     # the race ended in a clean reject
+            for future in accepted:
+                assert future.done()     # settled: result or exception
+                if future.exception() is not None:
+                    assert isinstance(future.exception(), TimeoutError)
+
+    def test_submit_after_stop_rejected(self, registry, tiny_inputs):
+        engine = BatchingEngine(registry)
+        engine.start()
+        engine.stop()
+        with pytest.raises(RuntimeError, match="not running"):
+            engine.submit("tiny", tiny_inputs[0])
+
+
+class TestDeadlines:
+    def test_expired_requests_dropped_not_served(self, tiny_model,
+                                                 tiny_inputs):
+        """Regression: requests whose caller had already timed out still
+        burned batch slots.  Expired entries must fail fast with
+        TimeoutError and count in the expired metric."""
+        registry = ModelRegistry()
+        registry.register("tiny", _SlowForecast(tiny_model, delay=0.3))
+        with BatchingEngine(registry, max_batch=1,
+                            max_wait_ms=0.0) as engine:
+            blocker = engine.submit("tiny", tiny_inputs[0])
+            time.sleep(0.05)             # let the worker take the blocker
+            doomed = [engine.submit("tiny", x, timeout=0.05)
+                      for x in tiny_inputs[1:4]]
+            blocker.result(timeout=30.0)
+            # The doomed requests expired while the blocker held the
+            # worker; the next batch pass drops them unserved.
+            for future in doomed:
+                with pytest.raises(TimeoutError, match="expired"):
+                    future.result(timeout=30.0)
+            stats = engine.stats()
+        assert stats["expired"] == 3
+        # Dropped requests never reached a forward pass.
+        assert stats["batched_requests"] == 1
+
+    def test_requests_within_deadline_served_normally(self, registry,
+                                                      tiny_inputs):
+        with BatchingEngine(registry, max_wait_ms=0.0) as engine:
+            result = engine.forecast_result("tiny", tiny_inputs[0],
+                                            timeout=30.0)
+        assert result.image.shape == (16, 16, 3)
+        assert engine.stats()["expired"] == 0
+
+
+class TestModelCacheLocking:
+    def test_concurrent_first_lookups_are_consistent(self, tiny_model,
+                                                     make_model,
+                                                     tiny_inputs):
+        """Regression: _model_cache was a plain dict mutated by every
+        submitter thread; concurrent first-time lookups could tear.
+        Hammer cold lookups from many threads and check every result."""
+        other = make_model(seed=9)
+        registry = ModelRegistry()
+        registry.register("a", tiny_model)
+        registry.register("b", other)
+        with BatchingEngine(registry, max_batch=8,
+                            max_wait_ms=5.0) as engine:
+            futures: list = [None] * 16
+
+            def submit(index):
+                model_id = "a" if index % 2 else "b"
+                futures[index] = engine.submit(model_id,
+                                               tiny_inputs[index % 12])
+
+            threads = [threading.Thread(target=submit, args=(i,))
+                       for i in range(16)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            results = [future.result(timeout=30.0) for future in futures]
+        for index, result in enumerate(results):
+            expected = (tiny_model if index % 2 else other).forecast(
+                tiny_inputs[index % 12])
+            assert np.array_equal(result.image, expected)

@@ -159,3 +159,37 @@ class TestErrors:
                 ForecastClient(port=running.port).forecast(
                     "tiny", x=np.zeros((4, 16, 16), np.float32))
         assert excinfo.value.status == 504
+
+
+class TestShutdown:
+    def test_wedged_serving_thread_raises_on_stop(self, tiny_model):
+        """Regression: stop() used to join the serving thread and move
+        on even when the join timed out, silently leaking a zombie
+        thread that still held the port."""
+        registry = ModelRegistry()
+        registry.register("tiny", tiny_model)
+        engine = BatchingEngine(registry)
+        server = ForecastServer(engine, port=0)
+        server.start()
+        try:
+            # Swap in a stand-in thread that outlives the join window —
+            # exactly what a handler wedged in a slow write looks like.
+            wedged = threading.Thread(target=lambda: threading.Event()
+                                      .wait(5.0), daemon=True)
+            wedged.start()
+            real_thread, server._thread = server._thread, wedged
+            with pytest.raises(RuntimeError, match="did not stop"):
+                server.stop(timeout=0.1)
+        finally:
+            real_thread.join(10.0)
+            if engine.running:
+                engine.stop()
+
+    def test_clean_stop_does_not_raise(self, tiny_model):
+        registry = ModelRegistry()
+        registry.register("tiny", tiny_model)
+        engine = BatchingEngine(registry)
+        server = ForecastServer(engine, port=0)
+        server.start()
+        server.stop()               # well-behaved thread: no error
+        assert not engine.running
