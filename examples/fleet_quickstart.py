@@ -123,7 +123,10 @@ def main() -> None:
           f"inflight cap {status['stats']['max_inflight']}")
 
     print("[4/4] one dashboard frame over the fleet telemetry")
-    dashboard = Dashboard(DirectorySource(obs_dir), color=False)
+    # The router now publishes breaker/retry/restart series too; raise
+    # the preview cap so the routing counters stay visible in the frame.
+    dashboard = Dashboard(DirectorySource(obs_dir), color=False,
+                          series_limit=24)
     dashboard.tick()
     frame = dashboard.frame()
     print("\n".join(f"  | {line}" for line in frame.splitlines()))

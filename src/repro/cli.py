@@ -27,9 +27,11 @@ Commands mirror the flows API:
   as Chrome ``trace_event`` JSON.  Numpy-free like ``train status``.
 * ``fleet``    — fleet-scale operations: ``up`` serves checkpoints
   through a multi-worker router (shared cache, admission control,
-  backpressure), ``route`` batch-forecasts store samples through a
-  worker pool into a content-addressed artifact store, ``status``
-  reads a job spool and merged fleet telemetry.
+  backpressure, supervised restarts), ``route`` batch-forecasts store
+  samples through a worker pool into a content-addressed artifact
+  store, ``status`` reads a job spool and merged fleet telemetry,
+  ``scrub`` quarantines corrupt artifact blobs, ``chaos`` drains a
+  spool under a seeded fault plan to prove the recovery paths.
 
 All experiment commands accept ``--scale {smoke,default,paper}``.
 """
@@ -417,6 +419,56 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_route.add_argument("--out", type=Path, default=None,
                              help="also materialize forecasts as .npy "
                                   "files here")
+
+    fleet_scrub = fleet_commands.add_parser(
+        "scrub", help="re-hash every blob and manifest in an artifact "
+                      "store; quarantine corrupt files")
+    fleet_scrub.add_argument("artifacts", type=Path,
+                             help="artifact store root")
+    fleet_scrub.add_argument("--no-quarantine", action="store_true",
+                             help="report only; leave corrupt files in "
+                                  "place")
+    fleet_scrub.add_argument("--json", action="store_true",
+                             help="emit the full report as JSON")
+
+    fleet_chaos = fleet_commands.add_parser(
+        "chaos", help="drain a forecast spool under a seeded fault plan "
+                      "and report recovery (the CI chaos-smoke driver)")
+    fleet_chaos.add_argument("--checkpoints", type=Path, required=True,
+                             help="directory of .npz model checkpoints")
+    fleet_chaos.add_argument("--model", required=True,
+                             help="model id (checkpoint file stem)")
+    fleet_chaos.add_argument("--store", type=Path, required=True,
+                             help="sharded dataset store to read inputs "
+                                  "from")
+    fleet_chaos.add_argument("--artifacts", type=Path, required=True,
+                             help="artifact store the forecasts (and the "
+                                  "blob-corruption faults) land in")
+    fleet_chaos.add_argument("--count", type=int, default=None,
+                             help="samples to forecast (default: all)")
+    fleet_chaos.add_argument("--workers", type=int, default=3,
+                             help="pool worker processes")
+    fleet_chaos.add_argument("--seed", type=int, default=0,
+                             help="fault-plan seed (same seed, same "
+                                  "faults)")
+    fleet_chaos.add_argument("--plan", type=Path, default=None,
+                             help="JSON fault plan to replay (overrides "
+                                  "--seed generation)")
+    fleet_chaos.add_argument("--faults", type=int, default=2,
+                             help="faults to generate when no --plan")
+    fleet_chaos.add_argument("--kinds", default="kill_worker,corrupt_blob",
+                             help="comma-separated fault kinds for "
+                                  "generation")
+    fleet_chaos.add_argument("--jobs", type=Path, default=None,
+                             help="job spool directory (default: "
+                                  "<artifacts>/jobs)")
+    fleet_chaos.add_argument("--lease-seconds", type=float, default=2.0,
+                             help="job lease length (low = fast orphan "
+                                  "requeue)")
+    fleet_chaos.add_argument("--timeout", type=float, default=300.0,
+                             help="drain deadline in seconds")
+    fleet_chaos.add_argument("--report", type=Path, default=None,
+                             help="also write the JSON report here")
 
     return parser
 
@@ -988,6 +1040,10 @@ def cmd_fleet(args) -> int:
             return _fleet_status(args)
         if args.fleet_command == "route":
             return _fleet_route(args)
+        if args.fleet_command == "scrub":
+            return _fleet_scrub(args)
+        if args.fleet_command == "chaos":
+            return _fleet_chaos(args)
     except (FileNotFoundError, ValueError) as error:
         raise SystemExit(f"error: {error}") from None
     raise SystemExit(f"error: unknown fleet command {args.fleet_command!r}")
@@ -1119,6 +1175,109 @@ def _fleet_route(args) -> int:
     if failed:
         raise SystemExit(f"{len(failed)} job(s) failed")
     return 0
+
+
+def _fleet_scrub(args) -> int:
+    import json as json_module
+
+    from repro.fleet import ArtifactStore
+
+    if not args.artifacts.exists():
+        raise SystemExit(f"error: no such directory: {args.artifacts}")
+    store = ArtifactStore(args.artifacts)
+    report = store.scrub(quarantine=not args.no_quarantine)
+    if args.json:
+        print(json_module.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(f"scrubbed {report['blobs_scanned']} blob(s), "
+              f"{report['manifests_scanned']} manifest(s)")
+        for entry in report["corrupt_blobs"]:
+            print(f"  CORRUPT blob {entry['digest'][:12]} "
+                  f"(hashes to {entry['actual_sha256'][:12]})")
+        for entry in report["corrupt_manifests"]:
+            print(f"  CORRUPT manifest {entry['digest'][:12]}: "
+                  f"{entry['problem']}")
+        for entry in report["missing_blobs"]:
+            print(f"  MISSING {entry['artifact']}: {entry['path']} "
+                  f"({entry['sha256'][:12]})")
+        for entry in report["quarantined"]:
+            print(f"  quarantined -> {entry['to']}")
+        print("clean" if report["clean"]
+              else f"NOT clean: {len(report['corrupt_blobs'])} corrupt "
+                   f"blob(s), {len(report['corrupt_manifests'])} corrupt "
+                   f"manifest(s), {len(report['missing_blobs'])} missing "
+                   f"blob(s)")
+    return 0 if report["clean"] else 1
+
+
+def _fleet_chaos(args) -> int:
+    import json as json_module
+    import shutil
+
+    from repro.data import ShardedStore, StoreError
+    from repro.fleet import JobStore
+    from repro.fleet.chaos import ChaosError, FaultPlan, run_chaos_drain
+
+    try:
+        store = ShardedStore.open(args.store)
+    except StoreError as error:
+        raise SystemExit(f"error: {error}") from None
+    count = store.num_samples if args.count is None \
+        else min(args.count, store.num_samples)
+    if count < 1:
+        raise SystemExit("error: nothing to forecast (empty store)")
+    try:
+        if args.plan is not None:
+            plan = FaultPlan.load(args.plan)
+        else:
+            plan = FaultPlan.generate(
+                args.seed, workers=args.workers, jobs=count,
+                count=args.faults,
+                kinds=tuple(kind.strip()
+                            for kind in args.kinds.split(",") if kind))
+    except (ChaosError, json_module.JSONDecodeError, KeyError) as error:
+        raise SystemExit(f"error: bad fault plan: {error}") from None
+    spool_root = args.jobs if args.jobs is not None \
+        else args.artifacts / "jobs"
+    if spool_root.exists():
+        shutil.rmtree(spool_root)
+    jobs = JobStore(spool_root)
+    for index in range(count):
+        jobs.submit("forecast", {
+            "checkpoints": str(args.checkpoints), "model": args.model,
+            "input": {"store": str(args.store), "index": index},
+            "artifacts": str(args.artifacts)})
+    print(f"chaos: draining {count} forecast job(s) through "
+          f"{args.workers} worker(s) under {len(plan.faults)} fault(s) "
+          f"(seed {plan.seed})")
+    for fault in plan.faults:
+        print(f"  plan: {fault.kind} target={fault.target} "
+              f"at={fault.at} job(s) finished")
+    report = run_chaos_drain(
+        spool_root, plan, workers=args.workers,
+        artifacts=args.artifacts, timeout=args.timeout,
+        lease_seconds=args.lease_seconds)
+    for event in report["events"]:
+        applied = "applied" if event.get("applied") else \
+            f"skipped ({event.get('reason', '?')})"
+        print(f"  fired: {event['kind']} at {event['finished']} "
+              f"finished -> {applied}")
+    counts = report["counts"]
+    print(f"drained: {counts['done']} done, {counts['failed']} failed, "
+          f"{counts['requeued']} requeued, {counts['restarts']} worker "
+          f"restart(s)")
+    scrub = report.get("scrub")
+    if scrub is not None:
+        print(f"scrub: {'clean' if scrub['clean'] else 'NOT clean'} "
+              f"({len(scrub['corrupt_blobs'])} corrupt, "
+              f"{len(scrub['missing_blobs'])} missing, "
+              f"{len(scrub['quarantined'])} quarantined)")
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(
+            json_module.dumps(report, indent=1, sort_keys=True) + "\n")
+        print(f"report -> {args.report}")
+    return 0 if counts["failed"] == 0 else 1
 
 
 _COMMANDS = {

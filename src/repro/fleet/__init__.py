@@ -1,28 +1,45 @@
 """repro.fleet — fleet-scale orchestration over the single-process stack.
 
-Three layers, all stdlib + numpy, all preserving the repo's exactness
+Four layers, all stdlib + numpy, all preserving the repo's exactness
 discipline (N workers produce byte-identical outputs to one):
 
 * :mod:`repro.fleet.artifacts` — content-addressed artifact store
   converging dataset shards, training run directories, and serve
-  checkpoints behind one ``put`` / ``get`` / ``verify`` interface.
+  checkpoints behind one ``put`` / ``get`` / ``verify`` interface, with
+  a ``scrub`` pass that quarantines corrupt blobs.
 * :mod:`repro.fleet.jobs` / :mod:`repro.fleet.pool` — file-backed job
-  spool with atomic claims, plus the worker pool that drains it across
-  N processes (train sweeps and batch forecasts route through this).
+  spool with atomic claims and lease-based orphan recovery, plus the
+  supervised worker pool that drains it across N processes (train
+  sweeps and batch forecasts route through this).
 * :mod:`repro.fleet.router` — multi-worker serve front: shared forecast
-  cache, admission control, queue-depth backpressure, and ``fleet_*``
-  telemetry, duck-typing the engine so
-  :class:`~repro.serve.http.ForecastServer` serves a fleet unchanged.
+  cache, admission control, queue-depth backpressure, worker
+  supervision with circuit-broken restarts, crash failover with
+  jittered-backoff retries, and ``fleet_*`` telemetry, duck-typing the
+  engine so :class:`~repro.serve.http.ForecastServer` serves a fleet
+  unchanged.
+* :mod:`repro.fleet.chaos` — seeded, replayable fault injection
+  (worker kills, stalls, garbled pipes, blob corruption) proving the
+  recovery paths above deterministically.
 """
 
 from repro.fleet.artifacts import ArtifactError, ArtifactRef, ArtifactStore
-from repro.fleet.jobs import Job, JobError, JobStore
+from repro.fleet.chaos import (
+    ChaosError,
+    Fault,
+    FaultPlan,
+    PoolChaos,
+    RouterChaos,
+    run_chaos_drain,
+)
+from repro.fleet.jobs import Job, JobError, JobStore, LeaseLostError
 from repro.fleet.pool import EXECUTORS, PoolError, WorkerPool, executor, worker_loop
 from repro.fleet.router import (
+    CircuitBreaker,
     FleetBusyError,
     FleetRouter,
     ProcessWorker,
     ThreadWorker,
+    WorkerCrashError,
     WorkerError,
 )
 
@@ -30,17 +47,26 @@ __all__ = [
     "ArtifactError",
     "ArtifactRef",
     "ArtifactStore",
+    "ChaosError",
+    "CircuitBreaker",
     "EXECUTORS",
+    "Fault",
+    "FaultPlan",
     "FleetBusyError",
     "FleetRouter",
     "Job",
     "JobError",
     "JobStore",
+    "LeaseLostError",
+    "PoolChaos",
     "PoolError",
     "ProcessWorker",
+    "RouterChaos",
     "ThreadWorker",
+    "WorkerCrashError",
     "WorkerError",
     "WorkerPool",
     "executor",
+    "run_chaos_drain",
     "worker_loop",
 ]

@@ -26,6 +26,12 @@ Layout under the store root::
 
     objects/<d[:2]>/<digest>      # raw blobs, content-addressed
     artifacts/<digest>.json       # manifests, one per artifact
+    quarantine/                   # corrupt files moved aside by scrub()
+
+Because blobs are content-addressed, quarantining a corrupt blob makes
+the store self-healing: the next ``put`` of the same content sees the
+address vacant and rewrites good bytes, after which ``scrub`` reports
+clean again.
 
 All writes are atomic (temp + ``os.replace``), and both areas are
 append-only, so concurrent writers — pool workers putting forecast
@@ -46,6 +52,7 @@ from typing import Iterator
 FORMAT_VERSION = 1
 OBJECTS_DIR = "objects"
 MANIFESTS_DIR = "artifacts"
+QUARANTINE_DIR = "quarantine"
 
 #: Run-directory members worth archiving: the self-describing record and
 #: the exported serve checkpoints — not the (large, prunable) exact-resume
@@ -123,6 +130,10 @@ class ArtifactStore:
     @property
     def manifests_dir(self) -> Path:
         return self.root / MANIFESTS_DIR
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIR
 
     # -- blob layer --------------------------------------------------------
 
@@ -424,6 +435,85 @@ class ArtifactStore:
                                     f"{entry['path']} is corrupted")
         return problems
 
+    def _quarantine(self, path: Path) -> dict:
+        """Move one corrupt file into ``quarantine/`` (never clobbers)."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        dest = self.quarantine_dir / path.name
+        suffix = 0
+        while dest.exists():
+            suffix += 1
+            dest = self.quarantine_dir / f"{path.name}.{suffix}"
+        os.replace(path, dest)
+        return {"from": str(path), "to": str(dest)}
+
+    def scrub(self, quarantine: bool = True) -> dict:
+        """Full-store integrity pass: detect, quarantine, re-verify.
+
+        Three sweeps:
+
+        1. every blob under ``objects/`` is re-hashed; a file whose
+           content no longer hashes to its name is corrupt and (with
+           ``quarantine=True``) moved into ``quarantine/``;
+        2. every manifest is re-parsed and its digest recomputed;
+           unreadable or mis-addressed manifests quarantine the same
+           way;
+        3. what survived is re-verified manifest-by-manifest, so blobs
+           that went missing (including ones just quarantined) are
+           reported per artifact.
+
+        Returns a JSON-able report; ``report["clean"]`` is True only
+        when all three sweeps found nothing.  A store whose corrupt
+        blobs were quarantined reports *not* clean until the content is
+        re-put (the vacant address self-heals on the next write).
+        """
+        report: dict = {"blobs_scanned": 0, "manifests_scanned": 0,
+                        "corrupt_blobs": [], "corrupt_manifests": [],
+                        "missing_blobs": [], "quarantined": []}
+        if self.objects_dir.is_dir():
+            for path in sorted(self.objects_dir.rglob("*")):
+                if not path.is_file() or path.name.startswith("."):
+                    continue        # dotfiles are in-flight temp writes
+                report["blobs_scanned"] += 1
+                actual = _hash_file(path)
+                if actual != path.name:
+                    report["corrupt_blobs"].append(
+                        {"digest": path.name, "actual_sha256": actual})
+                    if quarantine:
+                        report["quarantined"].append(self._quarantine(path))
+        if self.manifests_dir.is_dir():
+            for path in sorted(self.manifests_dir.glob("*.json")):
+                if path.name.startswith("."):
+                    continue
+                report["manifests_scanned"] += 1
+                problem = None
+                try:
+                    document = json.loads(path.read_text())
+                    core = manifest_core(document["kind"], document["name"],
+                                         list(document["files"]),
+                                         dict(document["meta"]))
+                    if manifest_digest(core) != path.stem:
+                        problem = ("manifest content does not hash to "
+                                   "its digest")
+                except (json.JSONDecodeError, KeyError, TypeError) as error:
+                    problem = f"unreadable manifest: {error}"
+                if problem is not None:
+                    report["corrupt_manifests"].append(
+                        {"digest": path.stem, "problem": problem})
+                    if quarantine:
+                        report["quarantined"].append(self._quarantine(path))
+        for artifact in self.list():
+            for entry in artifact.files:
+                if not self.blob_path(entry["sha256"]).exists():
+                    report["missing_blobs"].append(
+                        {"artifact": artifact.name,
+                         "digest": artifact.digest,
+                         "path": entry["path"],
+                         "sha256": entry["sha256"]})
+        report["clean"] = not (report["corrupt_blobs"]
+                               or report["corrupt_manifests"]
+                               or report["missing_blobs"])
+        return report
+
     def stats(self) -> dict:
         """Counts and sizes for ``repro fleet status``."""
         artifacts = self.list()
@@ -434,5 +524,9 @@ class ArtifactStore:
                          for path in self.objects_dir.rglob("*")
                          if path.is_file()) if self.objects_dir.is_dir() \
             else 0
+        quarantined = sum(1 for path in self.quarantine_dir.iterdir()
+                          if path.is_file()) \
+            if self.quarantine_dir.is_dir() else 0
         return {"root": str(self.root), "artifacts": len(artifacts),
-                "kinds": kinds, "blob_bytes": blob_bytes}
+                "kinds": kinds, "blob_bytes": blob_bytes,
+                "quarantined": quarantined}

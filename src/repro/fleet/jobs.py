@@ -21,6 +21,25 @@ Jobs are ordered: every submit records a monotonically increasing
 collection sorts by the index — so a pool's output rows are invariant
 to worker count and completion order, matching the repo's exactness
 discipline.
+
+**Leases.**  A claim is a *lease*, not ownership forever: every claim
+stamps the running document with a deadline (``time.monotonic()``-based,
+which is system-wide on Linux, so every process on the machine reads the
+same clock) that the worker must keep refreshing via :meth:`JobStore.heartbeat`.
+A worker that is SIGKILLed, wedged, or partitioned stops heartbeating,
+its lease expires, and :meth:`JobStore.reap` moves the orphan back to
+``pending/`` with its ``submit_index`` (ordering survives requeue) and
+its ``attempts`` counter intact — or to ``failed/`` once the attempt
+budget is spent, so a poison job cannot ping-pong forever.
+
+Completion is *rename-first*: :meth:`complete`/:meth:`fail` atomically
+rename ``running/<id>.json`` to the destination state before rewriting
+it with the result.  Exactly one of {finishing worker, reaper} wins that
+rename; the loser raises/skips.  A stale worker that finishes after its
+job was requeued gets :class:`LeaseLostError` and discards its result —
+the job can be *executed* more than once under pathological stalls
+(executors are deterministic, so the bytes match), but it is *completed*
+exactly once, which is what keeps drained output duplicate-free.
 """
 
 from __future__ import annotations
@@ -40,9 +59,24 @@ STATES = (PENDING, RUNNING, DONE, FAILED)
 #: Name of the sentinel file a long-running pool polls to shut down.
 STOP_SENTINEL = "stop"
 
+#: Default seconds a claim stays valid without a heartbeat.
+DEFAULT_LEASE_SECONDS = 30.0
+
+#: Default total claims a job gets before the reaper fails it for good.
+DEFAULT_MAX_ATTEMPTS = 3
+
 
 class JobError(Exception):
     """A malformed job document or an invalid state transition."""
+
+
+class LeaseLostError(JobError):
+    """This worker's lease expired and the job was requeued elsewhere.
+
+    Raised by :meth:`JobStore.complete`/:meth:`JobStore.fail` when the
+    running document is gone — the reaper (or a racing finisher) won the
+    completion rename.  The caller must discard its result.
+    """
 
 
 @dataclass
@@ -57,12 +91,16 @@ class Job:
     worker: str | None = None      # who claimed it
     result: dict | None = None     # set on done
     error: str | None = None       # set on failed
+    attempts: int = 0              # claims so far (bounded by the reaper)
+    lease_deadline: float | None = None   # monotonic; None when not running
 
     def to_dict(self) -> dict:
         return {"job_id": self.job_id, "kind": self.kind,
                 "payload": self.payload, "state": self.state,
                 "submit_index": self.submit_index, "worker": self.worker,
-                "result": self.result, "error": self.error}
+                "result": self.result, "error": self.error,
+                "attempts": self.attempts,
+                "lease_deadline": self.lease_deadline}
 
     @classmethod
     def from_dict(cls, document: dict) -> "Job":
@@ -73,16 +111,34 @@ class Job:
                        submit_index=int(document.get("submit_index", 0)),
                        worker=document.get("worker"),
                        result=document.get("result"),
-                       error=document.get("error"))
+                       error=document.get("error"),
+                       attempts=int(document.get("attempts", 0)),
+                       lease_deadline=document.get("lease_deadline"))
         except KeyError as missing:
             raise JobError(f"job document missing key {missing}") from None
 
 
 class JobStore:
-    """Submit / claim / complete over a spool directory."""
+    """Submit / claim / complete over a spool directory.
 
-    def __init__(self, root: str | Path):
+    ``lease_seconds`` is how long a claim stays valid without a
+    heartbeat; ``max_attempts`` is the total number of claims a job gets
+    before :meth:`reap` moves the expired orphan to ``failed/`` instead
+    of requeueing it.
+    """
+
+    def __init__(self, root: str | Path,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS):
+        if lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be > 0, "
+                             f"got {lease_seconds}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, "
+                             f"got {max_attempts}")
         self.root = Path(root)
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
         for state in STATES:
             (self.root / state).mkdir(parents=True, exist_ok=True)
 
@@ -156,7 +212,10 @@ class JobStore:
 
         Safe under concurrent claimers: the rename either succeeds (this
         worker owns the job) or raises (another worker won; try the next
-        pending id).
+        pending id).  The claim is a lease: the running document carries
+        a ``lease_deadline`` this worker must refresh via
+        :meth:`heartbeat` before it expires, and an incremented
+        ``attempts`` counter the reaper budgets against.
         """
         pending_dir = self.root / PENDING
         for path in sorted(pending_dir.glob("*.json")):
@@ -175,29 +234,118 @@ class JobStore:
                 continue
             job.state = RUNNING
             job.worker = worker
+            job.attempts += 1
+            job.lease_deadline = time.monotonic() + self.lease_seconds
             self._write(RUNNING, job)
             return job
         return None
 
+    def heartbeat(self, job: Job) -> bool:
+        """Refresh a running job's lease; ``False`` if the lease is gone.
+
+        Best-effort: a reaper racing this refresh in the tiny window
+        between the existence check and the rewrite can still requeue the
+        job — the rename-first completion protocol, not the heartbeat, is
+        what guarantees single completion.
+        """
+        if not self._path(RUNNING, job.job_id).exists():
+            return False
+        job.lease_deadline = time.monotonic() + self.lease_seconds
+        self._write(RUNNING, job)
+        return True
+
     # -- completion --------------------------------------------------------
 
     def _finish(self, job: Job, state: str) -> None:
+        # Rename first: exactly one of {this finisher, the reaper} gets
+        # to move the running document, so a job whose lease was reaped
+        # away cannot also land a (duplicate) result.
+        running = self._path(RUNNING, job.job_id)
+        try:
+            os.rename(running, self._path(state, job.job_id))
+        except FileNotFoundError:
+            raise LeaseLostError(
+                f"job {job.job_id!r} is no longer running under "
+                f"{self.root} (lease expired and the job was requeued, "
+                f"or another finisher won); result discarded") from None
         self._write(state, job)
-        self._path(RUNNING, job.job_id).unlink(missing_ok=True)
 
     def complete(self, job: Job, result: dict) -> Job:
-        """Record a successful result and move the job to ``done``."""
+        """Record a successful result and move the job to ``done``.
+
+        Raises :class:`LeaseLostError` when this worker's lease was
+        reaped away — the caller must discard the result.
+        """
         job.state = DONE
         job.result = dict(result)
+        job.lease_deadline = None
         self._finish(job, DONE)
         return job
 
     def fail(self, job: Job, error: str) -> Job:
-        """Record a failure and move the job to ``failed``."""
+        """Record a failure and move the job to ``failed``.
+
+        Raises :class:`LeaseLostError` when the lease was reaped away.
+        """
         job.state = FAILED
         job.error = str(error)
+        job.lease_deadline = None
         self._finish(job, FAILED)
         return job
+
+    # -- the reaper --------------------------------------------------------
+
+    def reap(self, now: float | None = None) -> list[dict]:
+        """Requeue (or terminally fail) running jobs whose lease expired.
+
+        Returns one ``{"job_id", "action", "attempts", "worker"}`` entry
+        per orphan handled: ``action`` is ``"requeued"`` (back to
+        ``pending/`` with ``submit_index`` and ``attempts`` intact) or
+        ``"failed"`` (the attempt budget is spent).  Safe to call from
+        any process at any time; races with finishing workers and other
+        reapers resolve through the same atomic renames claims use.
+        """
+        now = time.monotonic() if now is None else now
+        actions: list[dict] = []
+        for path in sorted((self.root / RUNNING).glob("*.json")):
+            try:
+                job = Job.from_dict(json.loads(path.read_text()))
+            except (json.JSONDecodeError, JobError, OSError):
+                continue
+            if job.lease_deadline is None or now <= job.lease_deadline:
+                continue
+            expired_worker = job.worker
+            if job.attempts >= self.max_attempts:
+                try:
+                    os.rename(path, self._path(FAILED, job.job_id))
+                except FileNotFoundError:
+                    continue    # the worker (or another reaper) won
+                job.state = FAILED
+                job.worker = None
+                job.lease_deadline = None
+                job.error = (f"lease expired on worker "
+                             f"{expired_worker!r}; attempt "
+                             f"{job.attempts}/{self.max_attempts} "
+                             f"budget spent")
+                self._write(FAILED, job)
+                actions.append({"job_id": job.job_id, "action": "failed",
+                                "attempts": job.attempts,
+                                "worker": expired_worker})
+            else:
+                # The rename alone IS the requeue: a racing claimer may
+                # take the job the instant it lands in pending/, so no
+                # follow-up rewrite is allowed (it could resurrect a
+                # stale pending doc next to the new running one).  The
+                # stale worker/lease fields in the document are dead
+                # weight until the next claim re-stamps them.
+                try:
+                    os.rename(path, self._path(PENDING, job.job_id))
+                except FileNotFoundError:
+                    continue
+                actions.append({"job_id": job.job_id, "action": "requeued",
+                                "attempts": job.attempts,
+                                "worker": expired_worker})
+        return actions
 
     # -- inspection --------------------------------------------------------
 
@@ -236,11 +384,16 @@ class JobStore:
 
     def wait(self, timeout: float | None = None,
              poll: float = 0.05) -> bool:
-        """Block until no job is pending or running; ``False`` on timeout."""
-        deadline = (time.perf_counter() + timeout
+        """Block until no job is pending or running; ``False`` on timeout.
+
+        All spool deadlines — this wait, the pool drain, and job leases —
+        share ``time.monotonic``, so a lease deadline written by one
+        process means the same thing to every other process reaping it.
+        """
+        deadline = (time.monotonic() + timeout
                     if timeout is not None else None)
         while self.outstanding():
-            if deadline is not None and time.perf_counter() > deadline:
+            if deadline is not None and time.monotonic() > deadline:
                 return False
             time.sleep(poll)
         return True

@@ -39,14 +39,38 @@ The router deliberately duck-types :class:`BatchingEngine`'s serving
 surface (``forecast_result``, ``stats``, ``metrics``, ``registry``,
 ``running``/``start``/``stop``), so
 :class:`repro.serve.http.ForecastServer` serves a fleet unchanged.
+
+**Fault tolerance** (the availability tier on top of the scaling tier):
+
+* **crash detection** — a SIGKILLed or wedged worker's pipe closes; the
+  receiver thread fails every pending future *immediately* with a typed
+  :class:`WorkerCrashError` instead of letting callers hang to their
+  timeout.
+* **supervision** — a background supervisor probes worker liveness
+  (process state plus an explicit ping/pong heartbeat over the pipe,
+  which also catches a process that is alive but wedged), and restarts
+  dead workers — the child re-warms its models on the way up — behind a
+  per-worker circuit breaker so a crash-looping checkpoint cannot melt
+  the fleet with restart churn.
+* **retry/failover** — forecasts are idempotent (content-digest keyed),
+  so a request failed by a worker crash is resubmitted to a surviving
+  worker under a bounded retry budget with jittered exponential backoff;
+  only when the budget is spent does the caller see the error.
+  Saturation (:class:`FleetBusyError`) carries a ``retry_after`` hint
+  that the HTTP layer surfaces as ``Retry-After`` on the 503.
+* **timeout accounting** — requests that die of timeout are counted in
+  ``fleet_requests_expired_total`` (and ``stats()["expired"]``) instead
+  of vanishing silently.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import signal
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from pathlib import Path
 
@@ -68,13 +92,95 @@ class FleetBusyError(RuntimeError):
     Subclasses ``RuntimeError`` so the HTTP layer maps it to 503.
     """
 
-    def __init__(self, reason: str, message: str):
+    def __init__(self, reason: str, message: str,
+                 retry_after: float | None = None):
         super().__init__(message)
         self.reason = reason
+        #: Suggested client wait before retrying; the HTTP layer renders
+        #: it as a ``Retry-After`` header on the 503.
+        self.retry_after = retry_after
 
 
 class WorkerError(RuntimeError):
     """A worker process died or failed to come up."""
+
+
+class WorkerCrashError(WorkerError):
+    """The worker process died with this request in flight.
+
+    Typed so the router (and callers) can distinguish a crashed worker —
+    safe to retry elsewhere, the request never completed — from a
+    request the worker itself rejected.
+    """
+
+
+def backoff_seconds(attempt: int, base: float, cap: float,
+                    rng: random.Random) -> float:
+    """Jittered exponential backoff: ``base * 2^attempt``, capped,
+    scaled by a uniform [0.5, 1.0) jitter drawn from ``rng``."""
+    return min(cap, base * (2.0 ** attempt)) * (0.5 + 0.5 * rng.random())
+
+
+class CircuitBreaker:
+    """Per-worker restart gate: closed -> open after ``threshold``
+    failures inside ``window`` seconds -> half-open after ``cooldown``.
+
+    Half-open admits restart probes; a probe failure reopens the breaker
+    (restarting the cooldown), a success closes it and clears history.
+    All timestamps are ``time.monotonic``.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, threshold: int = 3, window: float = 30.0,
+                 cooldown: float = 5.0):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.window = window
+        self.cooldown = cooldown
+        self.state = self.CLOSED
+        self._failures: deque[float] = deque()
+        self._opened_at: float | None = None
+
+    def _trim(self, now: float) -> None:
+        while self._failures and now - self._failures[0] > self.window:
+            self._failures.popleft()
+
+    def record_failure(self, now: float | None = None) -> None:
+        now = time.monotonic() if now is None else now
+        self._failures.append(now)
+        self._trim(now)
+        if self.state == self.HALF_OPEN \
+                or len(self._failures) >= self.threshold:
+            self.state = self.OPEN
+            self._opened_at = now
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self._failures.clear()
+        self._opened_at = None
+
+    def allow(self, now: float | None = None) -> bool:
+        """May a restart be attempted right now?"""
+        now = time.monotonic() if now is None else now
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._opened_at is not None \
+                    and now - self._opened_at >= self.cooldown:
+                self.state = self.HALF_OPEN
+                return True
+            return False
+        return True     # half-open: probe away
+
+    @property
+    def value(self) -> float:
+        """Gauge encoding: 0 closed, 1 half-open, 2 open."""
+        return {self.CLOSED: 0.0, self.HALF_OPEN: 1.0,
+                self.OPEN: 2.0}[self.state]
 
 
 # -- workers ---------------------------------------------------------------
@@ -143,6 +249,13 @@ class ThreadWorker(_WorkerBase):
             self._publisher.stop()
         self.engine.stop(timeout=timeout)
 
+    def restart(self, timeout: float = 10.0) -> None:
+        """Restart the in-process engine (thread workers share our fate
+        on real crashes; this recovers a stopped engine)."""
+        if self.engine.running:
+            self.engine.stop(timeout=timeout)
+        self.engine.start()
+
     def submit(self, model_id: str, x: np.ndarray,
                timeout: float | None) -> Future:
         inner = self.engine.submit(model_id, x, timeout=timeout)
@@ -164,10 +277,14 @@ def _process_worker_main(conn, checkpoints: str, max_batch: int,
                          worker_id: str, publish_interval: float) -> None:
     """Child body: engine + registry fed from a pipe.
 
-    Protocol (parent -> child): ``(req_id, model_id, x, timeout)`` or
-    ``None`` to shut down.  (child -> parent): ``("__ready__", ids)``
-    once after loading, then ``(req_id, "ok", image)`` /
-    ``(req_id, "error", message)`` per request, in completion order.
+    Protocol (parent -> child): ``(req_id, model_id, x, timeout)``,
+    ``("__ping__", token, None, None)`` liveness probes, or ``None`` to
+    shut down.  (child -> parent): ``("__ready__", ids)`` once after
+    loading, then ``(req_id, "ok", image)`` / ``(req_id, "error",
+    message)`` per request in completion order, and ``(token, "pong",
+    None)`` echoes for probes.  Any message the child cannot decode
+    (a garbled pickle) is a protocol breach: the child shuts down
+    cleanly and lets the parent's crash path restart it.
     """
     # A foreground Ctrl-C signals the whole process group; workers must
     # not die mid-recv with a traceback — the parent shuts them down
@@ -208,10 +325,25 @@ def _process_worker_main(conn, checkpoints: str, max_batch: int,
 
     try:
         while True:
-            message = conn.recv()
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            except Exception:
+                # Undecodable message (garbled pickle): the pipe can no
+                # longer be trusted — exit cleanly; the supervisor's
+                # crash path restarts this worker.
+                break
             if message is None:
                 break
             req_id, model_id, x, timeout = message
+            if req_id == "__ping__":
+                with send_lock:
+                    try:
+                        conn.send((model_id, "pong", None))
+                    except OSError:
+                        break
+                continue
             try:
                 future = engine.submit(model_id, x, timeout=timeout)
             except Exception as error:
@@ -261,10 +393,22 @@ class ProcessWorker(_WorkerBase):
         self._req_ids = itertools.count()
         self._alive = False
         self.model_ids: list[str] = []
+        #: Liveness bookkeeping the supervisor reads (monotonic stamps).
+        self.started_at: float | None = None
+        self.last_pong: float | None = None
+        self.restarts = 0
 
     @property
     def alive(self) -> bool:
-        return self._alive
+        # The receiver flips _alive on pipe EOF; the process check
+        # catches a SIGKILL in the instant before the EOF is observed.
+        return (self._alive and self._process is not None
+                and self._process.is_alive())
+
+    @property
+    def pid(self) -> int | None:
+        """The child's pid (the chaos harness's kill target)."""
+        return self._process.pid if self._process is not None else None
 
     def start(self) -> None:
         import multiprocessing
@@ -292,20 +436,30 @@ class ProcessWorker(_WorkerBase):
                               f"{self.checkpoints}: {payload}")
         self.model_ids = list(payload)
         self._alive = True
+        self.started_at = time.monotonic()
+        self.last_pong = None
         self._receiver = threading.Thread(
-            target=self._receive, name=f"fleet-recv-{self.worker_id}",
-            daemon=True)
+            target=self._receive, args=(self._conn,),
+            name=f"fleet-recv-{self.worker_id}", daemon=True)
         self._receiver.start()
 
-    def _receive(self) -> None:
+    def _receive(self, conn) -> None:
+        # conn is bound at thread creation: a restart() swaps
+        # self._conn, and a lingering old receiver must never read from
+        # the new incarnation's pipe.
         while True:
             try:
-                message = self._conn.recv()
+                message = conn.recv()
             except (EOFError, OSError):
                 break
+            except Exception:
+                break   # garbled message: treat the pipe as dead
             if message is None:
                 break
             req_id, status, payload = message
+            if status == "pong":
+                self.last_pong = time.monotonic()
+                continue
             with self._pending_lock:
                 future = self._pending.pop(req_id, None)
             if future is None:
@@ -322,15 +476,32 @@ class ProcessWorker(_WorkerBase):
                         f"worker {self.worker_id}: {payload}")
                 future.set_exception(error)
         self._alive = False
+        self._fail_pending(
+            f"worker {self.worker_id} exited with requests in flight")
+
+    def _fail_pending(self, message: str) -> None:
+        """Fail every pending future fast with a typed crash error."""
         with self._pending_lock:
             pending, self._pending = self._pending, {}
         for future in pending.values():
-            future.set_exception(WorkerError(
-                f"worker {self.worker_id} exited with requests in flight"))
+            if not future.done():
+                future.set_exception(WorkerCrashError(message))
+
+    def ping(self) -> bool:
+        """Send one liveness probe; the pong lands in :attr:`last_pong`."""
+        if not self._alive:
+            return False
+        token = next(self._req_ids)
+        try:
+            with self._send_lock:
+                self._conn.send(("__ping__", token, None, None))
+        except (OSError, ValueError):
+            return False
+        return True
 
     def submit(self, model_id: str, x: np.ndarray,
                timeout: float | None) -> Future:
-        if not self._alive:
+        if not self.alive:
             raise WorkerError(f"worker {self.worker_id} is not running")
         future: Future = Future()
         req_id = next(self._req_ids)
@@ -346,6 +517,40 @@ class ProcessWorker(_WorkerBase):
             raise WorkerError(f"worker {self.worker_id} pipe is down: "
                               f"{error}") from None
         return future
+
+    def restart(self, timeout: float = 10.0) -> None:
+        """Tear down whatever is left of the child and start a fresh one.
+
+        The replacement re-warms the checkpoint directory exactly like
+        the first incarnation (``warm_start`` in the child).  Pending
+        futures, if the receiver has not failed them already, fail with
+        :class:`WorkerCrashError` — never silently hang.
+        """
+        self._alive = False
+        process, conn = self._process, self._conn
+        receiver = self._receiver
+        if conn is not None:
+            try:
+                conn.close()    # forces the old receiver out of recv()
+            except OSError:
+                pass
+        if process is not None:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout)
+            if process.is_alive():
+                process.kill()
+                process.join(5.0)
+        if receiver is not None \
+                and receiver is not threading.current_thread():
+            receiver.join(timeout)
+        self._fail_pending(
+            f"worker {self.worker_id} restarted with requests in flight")
+        self._process = None
+        self._conn = None
+        self._receiver = None
+        self.start()
+        self.restarts += 1
 
     def stop(self, timeout: float = 10.0) -> None:
         if self._process is None:
@@ -367,6 +572,19 @@ class ProcessWorker(_WorkerBase):
 
 # -- the router ------------------------------------------------------------
 
+def _failed_future(error: Exception) -> Future:
+    future: Future = Future()
+    future.set_exception(error)
+    return future
+
+
+class _NullWorker:
+    """Stand-in dispatch target when no live worker exists for a retry."""
+
+    worker_id = "(none)"
+    _depth = 1          # _on_worker_done decrements it back to zero
+
+
 class FleetRouter:
     """Admission-controlled request fan-out over N serving workers.
 
@@ -380,7 +598,14 @@ class FleetRouter:
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None,
                  obs_dir: str | Path | None = None,
-                 publish_interval: float = 2.0):
+                 publish_interval: float = 2.0,
+                 retry_budget: int = 2, retry_base: float = 0.05,
+                 retry_cap: float = 1.0, retry_after: float = 0.5,
+                 supervise: bool = True, supervise_interval: float = 0.5,
+                 heartbeat_timeout: float = 10.0,
+                 breaker_threshold: int = 3, breaker_window: float = 30.0,
+                 breaker_cooldown: float = 5.0,
+                 retry_seed: int | None = None):
         if not workers:
             raise ValueError("a fleet needs at least one worker")
         if max_inflight < 1:
@@ -389,6 +614,9 @@ class FleetRouter:
         if worker_queue_limit < 1:
             raise ValueError(f"worker_queue_limit must be >= 1, "
                              f"got {worker_queue_limit}")
+        if retry_budget < 0:
+            raise ValueError(f"retry_budget must be >= 0, "
+                             f"got {retry_budget}")
         self.workers = list(workers)
         ids = [worker.worker_id for worker in self.workers]
         if len(set(ids)) != len(ids):
@@ -397,6 +625,13 @@ class FleetRouter:
         self.cache = cache
         self.max_inflight = max_inflight
         self.worker_queue_limit = worker_queue_limit
+        self.retry_budget = retry_budget
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.retry_after = retry_after
+        self.supervise = supervise
+        self.supervise_interval = supervise_interval
+        self.heartbeat_timeout = heartbeat_timeout
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.drift = None           # engine-surface parity (no monitor)
@@ -404,6 +639,16 @@ class FleetRouter:
         self._inflight = 0
         self._running = False
         self._publisher = None
+        self._rng = random.Random(retry_seed)
+        self._breakers = {
+            worker.worker_id: CircuitBreaker(
+                threshold=breaker_threshold, window=breaker_window,
+                cooldown=breaker_cooldown)
+            for worker in self.workers}
+        self._supervisor: threading.Thread | None = None
+        self._supervisor_wake = threading.Event()
+        self._timers: dict = {}      # pending retry Timer -> request state
+        self._timer_lock = threading.Lock()
         if obs_dir is not None:
             self._publisher = TelemetryPublisher(
                 self.metrics, Path(obs_dir) / TELEMETRY_DIR, role="router",
@@ -466,6 +711,23 @@ class FleetRouter:
         self._m_latency = m.histogram(
             "fleet_request_latency_seconds",
             "Router submit-to-result latency per completed request.")
+        self._m_expired = m.counter(
+            "fleet_requests_expired_total",
+            "Requests that timed out before a worker produced a result.")
+        self._m_retries = m.counter(
+            "fleet_retries_total",
+            "Requests resubmitted to a surviving worker after a crash.")
+        self._m_restarts = m.counter(
+            "fleet_worker_restarts_total",
+            "Worker restarts performed by the supervisor, by worker.",
+            labelnames=("worker",))
+        self._m_breaker = m.gauge(
+            "fleet_breaker_state",
+            "Circuit breaker state per worker "
+            "(0=closed, 1=half-open, 2=open).",
+            labelnames=("worker",))
+        for worker_id in self._breakers:
+            self._m_breaker.labels(worker=worker_id).set(0)
         m.gauge("fleet_inflight", "Requests currently in flight.",
                 fn=lambda: self._inflight)
         m.gauge("fleet_workers_alive", "Workers currently serving.",
@@ -507,11 +769,28 @@ class FleetRouter:
         if self._publisher is not None:
             self._publisher.start()
         self._running = True
+        if self.supervise:
+            self._supervisor_wake.clear()
+            self._supervisor = threading.Thread(
+                target=self._supervise_loop, name="fleet-supervisor",
+                daemon=True)
+            self._supervisor.start()
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
         with self._lock:
             self._running = False
+        self._supervisor_wake.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout)
+            self._supervisor = None
+        with self._timer_lock:
+            timers, self._timers = self._timers, {}
+        for timer, state in timers.items():
+            timer.cancel()
+            if not state["future"].done():
+                state["future"].set_exception(WorkerCrashError(
+                    "fleet router stopped with a retry pending"))
         if self._publisher is not None:
             self._publisher.stop()
         errors = []
@@ -523,6 +802,40 @@ class FleetRouter:
         if errors:
             raise WorkerError("worker shutdown failed: "
                               + "; ".join(errors))
+
+    # -- supervision -------------------------------------------------------
+
+    def _supervise_loop(self) -> None:
+        while True:
+            self._supervisor_wake.wait(self.supervise_interval)
+            if not self._running:
+                return
+            self._supervise_tick()
+
+    def _supervise_tick(self) -> None:
+        """One liveness sweep: probe, detect, restart behind breakers."""
+        now = time.monotonic()
+        for worker in self.workers:
+            breaker = self._breakers[worker.worker_id]
+            stalled = False
+            if worker.alive and isinstance(worker, ProcessWorker):
+                worker.ping()
+                seen = worker.last_pong or worker.started_at or now
+                stalled = (now - seen) > self.heartbeat_timeout
+            if (not worker.alive or stalled) and breaker.allow(now):
+                try:
+                    worker.restart()
+                except Exception:
+                    breaker.record_failure(time.monotonic())
+                else:
+                    breaker.record_success()
+                    self._m_restarts.labels(
+                        worker=worker.worker_id).inc()
+                    self.tracer.instant("fleet.worker_restart",
+                                        worker=worker.worker_id,
+                                        stalled=stalled)
+            self._m_breaker.labels(
+                worker=worker.worker_id).set(breaker.value)
 
     def __enter__(self) -> "FleetRouter":
         return self.start()
@@ -566,6 +879,13 @@ class FleetRouter:
                     model_id=model_id, image=hit, cached=True,
                     latency_seconds=latency))
                 return future
+        state = {
+            "model_id": model_id, "x": x, "timeout": timeout,
+            "digest": digest, "start": start, "attempt": 0,
+            "future": future,
+            "deadline": (time.monotonic() + timeout
+                         if timeout is not None else None),
+        }
         with self._lock:
             if not self._running:
                 raise RuntimeError("fleet router is stopping")
@@ -574,7 +894,7 @@ class FleetRouter:
                 raise FleetBusyError(
                     "admission",
                     f"fleet at max_inflight={self.max_inflight}; "
-                    f"request rejected")
+                    f"request rejected", retry_after=self.retry_after)
             live = [worker for worker in self.workers if worker.alive]
             if not live:
                 raise WorkerError("no live workers in the fleet")
@@ -584,7 +904,8 @@ class FleetRouter:
                 raise FleetBusyError(
                     "backpressure",
                     f"every worker queue is at depth "
-                    f">= {self.worker_queue_limit}; request rejected")
+                    f">= {self.worker_queue_limit}; request rejected",
+                    retry_after=self.retry_after)
             self._inflight += 1
             worker._depth += 1
         try:
@@ -595,28 +916,117 @@ class FleetRouter:
                 worker._depth -= 1
             raise
         self._m_routed.labels(worker=worker.worker_id).inc()
+        inner.add_done_callback(
+            lambda done: self._on_worker_done(done, state, worker))
+        return future
 
-        def resolve(done: Future) -> None:
-            with self._lock:
-                self._inflight -= 1
-                worker._depth -= 1
-            error = done.exception()
-            if error is not None:
-                if not isinstance(error, TimeoutError):
-                    self._m_errors.inc()
-                future.set_exception(error)
+    # -- retry / failover --------------------------------------------------
+
+    def _on_worker_done(self, done: Future, state: dict, worker) -> None:
+        """Resolve one dispatch attempt: finish, or fail over and retry.
+
+        ``_inflight`` was incremented exactly once per request at
+        admission and is decremented exactly once here, at final
+        resolution — retries in between only touch per-worker depth.
+        """
+        with self._lock:
+            worker._depth -= 1
+        error = done.exception()
+        if error is None:
+            self._finalize_success(state, done.result())
+            return
+        if isinstance(error, WorkerCrashError) and self._running:
+            remaining = (state["deadline"] - time.monotonic()
+                         if state["deadline"] is not None else None)
+            if (state["attempt"] < self.retry_budget
+                    and (remaining is None or remaining > 0)):
+                delay = backoff_seconds(state["attempt"], self.retry_base,
+                                        self.retry_cap, self._rng)
+                if remaining is not None:
+                    delay = min(delay, remaining)
+                state["attempt"] += 1
+                self._m_retries.inc()
+                self.tracer.instant("fleet.retry",
+                                    model=state["model_id"],
+                                    attempt=state["attempt"])
+                timer = threading.Timer(
+                    delay, self._redispatch, args=(state,))
+                timer.daemon = True
+                with self._timer_lock:
+                    state["_timer"] = timer
+                    self._timers[timer] = state
+                timer.start()
                 return
-            image = done.result()
-            latency = time.perf_counter() - start
-            self._m_latency.observe(latency)
-            if self.cache is not None and digest is not None:
-                self.cache.put(model_id, digest, image)
-            future.set_result(ForecastResult(
-                model_id=model_id, image=image, cached=False,
+        self._finalize_failure(state, error)
+
+    def _redispatch(self, state: dict) -> None:
+        """Resubmit after backoff to the least-loaded surviving worker.
+
+        Retries are already admitted — they bypass admission control and
+        queue limits so a recovering fleet cannot reject work it
+        accepted before the crash.
+        """
+        with self._timer_lock:
+            self._timers.pop(state.pop("_timer", None), None)
+        if state["future"].done():
+            return
+        with self._lock:
+            running = self._running
+            live = ([worker for worker in self.workers if worker.alive]
+                    if running else [])
+            if live:
+                worker = min(live, key=lambda w: w.depth)
+                worker._depth += 1
+        if not running:
+            self._finalize_failure(state, WorkerCrashError(
+                "fleet router stopped during retry"))
+            return
+        if not live:
+            # Nobody to run on right now; burn one retry waiting for the
+            # supervisor to bring a worker back.
+            self._on_worker_done(_failed_future(WorkerCrashError(
+                "no live workers to retry on")), state, _NullWorker())
+            return
+        remaining = (state["deadline"] - time.monotonic()
+                     if state["deadline"] is not None else None)
+        if remaining is not None and remaining <= 0:
+            with self._lock:
+                worker._depth -= 1
+            self._finalize_failure(state, TimeoutError(
+                f"request expired after {state['attempt']} retries"))
+            return
+        try:
+            inner = worker.submit(state["model_id"], state["x"],
+                                  remaining if remaining is not None
+                                  else state["timeout"])
+        except Exception as error:
+            self._on_worker_done(_failed_future(error), state, worker)
+            return
+        self._m_routed.labels(worker=worker.worker_id).inc()
+        inner.add_done_callback(
+            lambda done: self._on_worker_done(done, state, worker))
+
+    def _finalize_success(self, state: dict, image: np.ndarray) -> None:
+        with self._lock:
+            self._inflight -= 1
+        latency = time.perf_counter() - state["start"]
+        self._m_latency.observe(latency)
+        if self.cache is not None and state["digest"] is not None:
+            self.cache.put(state["model_id"], state["digest"], image)
+        if not state["future"].done():
+            state["future"].set_result(ForecastResult(
+                model_id=state["model_id"], image=image, cached=False,
                 latency_seconds=latency))
 
-        inner.add_done_callback(resolve)
-        return future
+    def _finalize_failure(self, state: dict, error: Exception) -> None:
+        with self._lock:
+            self._inflight -= 1
+        if isinstance(error, TimeoutError):
+            self._m_expired.inc()
+        else:
+            self._m_errors.inc()
+        if not state["future"].done():
+            state["future"].set_exception(error)
 
     def forecast_result(self, model_id: str, x: np.ndarray,
                         timeout: float | None = 30.0) -> ForecastResult:
@@ -638,10 +1048,17 @@ class FleetRouter:
                     for labels, counter in self._m_rejected.items()}
         routed = {labels[0]: int(counter.value)
                   for labels, counter in self._m_routed.items()}
+        restarts = {labels[0]: int(counter.value)
+                    for labels, counter in self._m_restarts.items()}
         snapshot = {
             "requests": int(self._m_requests.value),
             "completed": completed,
             "errors": int(self._m_errors.value),
+            "expired": int(self._m_expired.value),
+            "retries": int(self._m_retries.value),
+            "restarts": restarts,
+            "breakers": {worker_id: breaker.state
+                         for worker_id, breaker in self._breakers.items()},
             "rejected": rejected,
             "routed_by_worker": routed,
             "inflight": self._inflight,
@@ -666,7 +1083,9 @@ class FleetRouter:
         return {
             "stats": self.stats(),
             "workers": [{"id": worker.worker_id, "alive": worker.alive,
-                         "queue_depth": worker.depth}
+                         "queue_depth": worker.depth,
+                         "breaker": self._breakers[worker.worker_id].state,
+                         "restarts": getattr(worker, "restarts", 0)}
                         for worker in self.workers],
             "models": self.registry.model_ids,
         }

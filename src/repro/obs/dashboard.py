@@ -131,10 +131,12 @@ class Dashboard:
     """Rolling state + frame renderer for ``repro obs top``."""
 
     def __init__(self, source, window: float = 30.0,
-                 capacity: int = 600, color: bool = False):
+                 capacity: int = 600, color: bool = False,
+                 series_limit: int = 8):
         self.source = source
         self.window = window
         self.color = color
+        self.series_limit = series_limit
         self.store = TimeSeriesStore(capacity=capacity)
         self.worker_store = TimeSeriesStore(capacity=capacity)
         self.samples = 0
@@ -192,7 +194,7 @@ class Dashboard:
         lines.extend(self._alert_lines(poll))
         lines.extend(self._serve_lines())
         lines.extend(self._worker_lines(workers))
-        lines.extend(self._series_lines())
+        lines.extend(self._series_lines(self.series_limit))
         return "\n".join(lines) + "\n"
 
     def _alert_lines(self, poll: FleetPoll | None) -> list[str]:

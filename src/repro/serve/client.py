@@ -2,25 +2,39 @@
 
 Used by the tests, the serving example, and the benchmark; also a reference
 for what a placement tool would embed to query the service.
+
+The client cooperates with fleet backpressure: a 503 whose body came
+from a saturated :class:`~repro.fleet.router.FleetRouter` carries a
+``Retry-After`` header, and with ``retries > 0`` the client sleeps that
+long (or a jittered exponential fallback) and resends — forecasts are
+idempotent, so retrying a rejected or crashed request is always safe.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
 
 import numpy as np
 
+#: Error statuses worth retrying: backpressure and gateway hiccups, not
+#: client mistakes (4xx) and not server-side timeouts already spent.
+RETRYABLE_STATUSES = (503,)
+
 
 class ClientError(Exception):
     """Server returned an error status; carries the decoded JSON message."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -37,14 +51,22 @@ class ForecastClient:
     """JSON-over-HTTP client bound to one server."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8000,
-                 timeout: float = 60.0):
+                 timeout: float = 60.0, retries: int = 0,
+                 retry_base: float = 0.05, retry_cap: float = 2.0,
+                 retry_seed: int | None = None):
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.retries = retries
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self._rng = random.Random(retry_seed)
 
     # -- transport ---------------------------------------------------------
 
-    def _request(self, path: str, payload: dict | None = None,
-                 accept: str | None = None) -> dict:
+    def _request_once(self, path: str, payload: dict | None = None,
+                      accept: str | None = None) -> dict:
         url = self.base_url + path
         data = None
         headers = {}
@@ -63,7 +85,36 @@ class ForecastClient:
                 message = json.loads(error.read()).get("error", str(error))
             except (json.JSONDecodeError, ValueError):
                 message = str(error)
-            raise ClientError(error.code, message) from None
+            retry_after = None
+            header = error.headers.get("Retry-After") \
+                if error.headers is not None else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            raise ClientError(error.code, message,
+                              retry_after=retry_after) from None
+
+    def _backoff(self, attempt: int, hint: float | None) -> float:
+        if hint is not None:
+            return hint
+        return min(self.retry_cap,
+                   self.retry_base * (2.0 ** attempt)) \
+            * (0.5 + 0.5 * self._rng.random())
+
+    def _request(self, path: str, payload: dict | None = None,
+                 accept: str | None = None) -> dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(path, payload, accept=accept)
+            except ClientError as error:
+                if (error.status not in RETRYABLE_STATUSES
+                        or attempt >= self.retries):
+                    raise
+                time.sleep(self._backoff(attempt, error.retry_after))
+                attempt += 1
 
     # -- endpoints ---------------------------------------------------------
 

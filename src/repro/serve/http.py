@@ -63,9 +63,11 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 class ApiError(Exception):
     """An error with an HTTP status, rendered as a JSON body."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str,
+                 headers: dict | None = None):
         super().__init__(message)
         self.status = status
+        self.headers = dict(headers) if headers else {}
 
 
 def _parse_forecast_body(body: dict) -> tuple[str, np.ndarray]:
@@ -113,11 +115,14 @@ class _Handler(BaseHTTPRequestHandler):
         if self.api.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict | None = None) -> None:
         data = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         if status >= 400:
             # Error paths may not have drained the request body; dropping
             # the keep-alive connection keeps leftover bytes from being
@@ -188,7 +193,8 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 raise ApiError(404, f"no such route: {self.path}")
         except ApiError as error:
-            self._send_json(error.status, {"error": str(error)})
+            self._send_json(error.status, {"error": str(error)},
+                            headers=error.headers)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
         try:
@@ -220,8 +226,14 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ApiError(
                     504, f"forecast did not complete within "
                          f"{self.api.forecast_timeout}s") from None
-            except RuntimeError as error:   # engine stopped mid-request
-                raise ApiError(503, str(error)) from None
+            except RuntimeError as error:
+                # Engine stopped mid-request, or the fleet rejected the
+                # request (FleetBusyError carries a Retry-After hint so
+                # well-behaved clients back off instead of hammering).
+                retry_after = getattr(error, "retry_after", None)
+                headers = ({"Retry-After": f"{retry_after:.3f}"}
+                           if retry_after is not None else None)
+                raise ApiError(503, str(error), headers=headers) from None
             self._send_json(200, {
                 "model": result.model_id,
                 "shape": list(result.image.shape),
@@ -230,7 +242,8 @@ class _Handler(BaseHTTPRequestHandler):
                 "latency_ms": result.latency_seconds * 1e3,
             })
         except ApiError as error:
-            self._send_json(error.status, {"error": str(error)})
+            self._send_json(error.status, {"error": str(error)},
+                            headers=error.headers)
 
 
 class ForecastServer:

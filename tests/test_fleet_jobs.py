@@ -115,7 +115,8 @@ class TestWorkerLoop:
             store.submit("echo", {"value": i})
         store.submit("echo", {"value": -1, "boom": True})
         counters = worker_loop(str(store.root), "w0", publish=False)
-        assert counters == {"claimed": 5, "done": 4, "failed": 1}
+        assert counters == {"claimed": 5, "done": 4, "failed": 1,
+                            "lease_lost": 0}
         failed = store.jobs("failed")
         assert len(failed) == 1
         assert "boom requested" in failed[0].error
