@@ -17,26 +17,18 @@ skip.  The measured ``scaling_x`` and ``cores`` are always recorded in
 the scaling bar.
 """
 
-import os
 import time
 
 import numpy as np
 from conftest import write_result
 from reporting import entry, write_bench_json
-from workloads import _inputs, _make_model
+from workloads import _inputs, _make_model, usable_cores
 
 from repro.fleet import FleetRouter
 from repro.serve import BatchingEngine, ForecastCache, ModelRegistry
 
 #: Requests per sustained-load measurement.
 NUM_REQUESTS = 64
-
-
-def _usable_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:     # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def _fleet_load(checkpoints, workers: int, inputs,
@@ -97,7 +89,7 @@ def test_fleet_scaling(benchmark, scale, tmp_path_factory):
         assert np.array_equal(image, expected)
 
     scaling = w4["rps"] / w1["rps"]
-    cores = _usable_cores()
+    cores = usable_cores()
 
     # Shared-cache fast path at the router.
     cache = ForecastCache(64)

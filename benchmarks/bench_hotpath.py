@@ -1,0 +1,208 @@
+"""Hot-path gemm variants: thread scaling and int8 fused inference.
+
+Measures the four execution variants of the conv hot paths —
+
+* ``legacy``          — 1 thread, float32 (the bitwise reference path)
+* ``threaded``        — N gemm-pool threads, float32
+* ``int8``            — 1 thread, per-channel int8 quantized fused eval
+* ``threaded_int8``   — N threads + int8
+
+over the training step (batch 1, the paper's configuration, and batch 8
+where batch-axis sharding has room to work) and the batched eval
+forecast, plus a thread-scaling curve for the eval path.
+
+Two invariants are asserted **unconditionally**, on every host:
+
+* N-thread float32 results are bitwise equal to 1-thread results —
+  trained weights and forecasts byte for byte (the determinism contract
+  of :mod:`repro.nn.parallel`);
+* int8 forecasts stay within a small absolute band of float32 (the
+  tight accuracy gate lives in ``tests/test_nn_parallel.py`` against
+  golden eval fixtures).
+
+The speedup bars (>= 1.8x threaded, >= 1.5x int8 fused eval) are gated
+on ``usable_cores() >= 4``: thread pools cannot beat physics on a
+1-core container, and a rigged number would be worse than an honest
+skip.  Measured walls, in-run ``speedup_vs_legacy`` ratios, and the
+core count are recorded in ``BENCH_hotpath.json`` either way, so CI on
+multi-core runners enforces the bars.
+"""
+
+import numpy as np
+from conftest import write_result
+from reporting import entry, write_bench_json
+from workloads import _best_mean, _make_model, usable_cores
+
+from repro.nn import set_num_threads, shutdown_pool
+
+#: Thread counts for the eval scaling curve (capped by the host below).
+THREAD_CURVE = (1, 2, 4)
+
+TRAIN_REPS = 8
+EVAL_REPS = 8
+
+
+def _train_wall(scale, batch: int, threads: int,
+                reps: int = TRAIN_REPS) -> float:
+    set_num_threads(threads)
+    model = _make_model(scale)
+    rng = np.random.default_rng(0)
+    side = scale.image_size
+    x = rng.normal(size=(batch, 4, side, side)).astype(np.float32)
+    y = rng.normal(size=(batch, 3, side, side)).astype(np.float32)
+    for _ in range(2):
+        model.train_step(x, y)
+    return _best_mean(lambda: model.train_step(x, y), reps, trials=3)
+
+
+def _eval_wall(scale, threads: int, mode: str, batch: int = 16,
+               reps: int = EVAL_REPS) -> float:
+    set_num_threads(threads)
+    model = _make_model(scale).set_inference_mode(mode)
+    rng = np.random.default_rng(1)
+    side = scale.image_size
+    xb = rng.normal(size=(batch, 4, side, side)).astype(np.float32)
+    for _ in range(2):
+        model.forecast(xb)
+    return _best_mean(lambda: model.forecast(xb), reps, trials=3)
+
+
+def _assert_bitwise_parity(scale, threads: int) -> None:
+    """Train + forecast at 1 and at N threads must agree byte for byte."""
+    side = scale.image_size
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(4, 4, side, side)).astype(np.float32)
+    y = rng.normal(size=(4, 3, side, side)).astype(np.float32)
+    states = []
+    forecasts = []
+    for n in (1, threads):
+        set_num_threads(n)
+        model = _make_model(scale)
+        for _ in range(2):
+            model.train_step(x, y)
+        states.append(model.generator.state_dict())
+        forecasts.append(model.forecast(x).copy())
+    assert forecasts[0].tobytes() == forecasts[1].tobytes()
+    for key, reference in states[0].items():
+        assert states[1][key].tobytes() == reference.tobytes(), key
+
+
+def test_hotpath_variants(benchmark, scale):
+    cores = usable_cores()
+    threads = max(2, min(4, cores))
+    side = scale.image_size
+
+    try:
+        _assert_bitwise_parity(scale, threads)
+
+        # int8 must track float32 closely on forecast images in [0, 1].
+        set_num_threads(1)
+        rng = np.random.default_rng(5)
+        xb = rng.normal(size=(4, 4, side, side)).astype(np.float32)
+        model = _make_model(scale)
+        f32 = model.forecast(xb).copy()
+        q8 = model.set_inference_mode("int8").forecast(xb).copy()
+        int8_err = float(np.max(np.abs(f32 - q8)))
+        assert int8_err < 0.05, int8_err
+
+        # -- measurements ------------------------------------------------
+        train1_legacy = _train_wall(scale, 1, 1)
+        train1_threaded = _train_wall(scale, 1, threads)
+        train8_legacy = _train_wall(scale, 8, 1)
+
+        holder = {}
+
+        def measure_threaded_train8():
+            holder["wall"] = _train_wall(scale, 8, threads)
+            return holder["wall"]
+
+        benchmark.pedantic(measure_threaded_train8, rounds=1, iterations=1)
+        train8_threaded = holder["wall"]
+
+        eval_legacy = _eval_wall(scale, 1, "float32")
+        eval_int8 = _eval_wall(scale, 1, "int8")
+        eval_threaded = _eval_wall(scale, threads, "float32")
+        eval_threaded_int8 = _eval_wall(scale, threads, "int8")
+
+        curve = []
+        for n in sorted({min(n, cores) for n in THREAD_CURVE} | {1}):
+            curve.append((n, _eval_wall(scale, n, "float32")))
+    finally:
+        set_num_threads(1)
+        shutdown_pool()
+
+    def speedup(base, wall):
+        return round(base / wall, 3)
+
+    entries = [
+        entry("train_step", shape=[1, 4, side, side],
+              wall_time_s=train1_legacy, throughput=1.0 / train1_legacy,
+              variant="legacy", threads=1, cores=cores),
+        entry("train_step_threaded", shape=[1, 4, side, side],
+              wall_time_s=train1_threaded,
+              throughput=1.0 / train1_threaded,
+              baseline_op="train_step", variant="threaded",
+              threads=threads, cores=cores,
+              speedup_vs_legacy=speedup(train1_legacy, train1_threaded)),
+        entry("train_step_b8", shape=[8, 4, side, side],
+              wall_time_s=train8_legacy, throughput=8.0 / train8_legacy,
+              variant="legacy", threads=1, cores=cores),
+        entry("train_step_b8_threaded", shape=[8, 4, side, side],
+              wall_time_s=train8_threaded,
+              throughput=8.0 / train8_threaded,
+              baseline_op="train_step_b8", variant="threaded",
+              threads=threads, cores=cores,
+              speedup_vs_legacy=speedup(train8_legacy, train8_threaded)),
+        entry("eval_batch16", shape=[16, 4, side, side],
+              wall_time_s=eval_legacy, throughput=16.0 / eval_legacy,
+              variant="legacy", threads=1, cores=cores),
+        entry("eval_batch16_threaded", shape=[16, 4, side, side],
+              wall_time_s=eval_threaded, throughput=16.0 / eval_threaded,
+              baseline_op="eval_batch16", variant="threaded",
+              threads=threads, cores=cores,
+              speedup_vs_legacy=speedup(eval_legacy, eval_threaded)),
+        entry("eval_batch16_int8", shape=[16, 4, side, side],
+              wall_time_s=eval_int8, throughput=16.0 / eval_int8,
+              baseline_op="eval_batch16", variant="int8", threads=1,
+              cores=cores, max_abs_err=int8_err,
+              speedup_vs_legacy=speedup(eval_legacy, eval_int8)),
+        entry("eval_batch16_threaded_int8", shape=[16, 4, side, side],
+              wall_time_s=eval_threaded_int8,
+              throughput=16.0 / eval_threaded_int8,
+              baseline_op="eval_batch16", variant="threaded_int8",
+              threads=threads, cores=cores,
+              speedup_vs_legacy=speedup(eval_legacy, eval_threaded_int8)),
+    ]
+    for n, wall in curve:
+        entries.append(
+            entry(f"eval_batch16_threads{n}", shape=[16, 4, side, side],
+                  wall_time_s=wall, throughput=16.0 / wall,
+                  baseline_op="eval_batch16", variant="scaling_curve",
+                  threads=n, cores=cores,
+                  speedup_vs_legacy=speedup(curve[0][1], wall)))
+    write_bench_json("hotpath", entries, scale.name)
+
+    lines = [f"hot-path gemm variants ({scale.name}, {cores} usable "
+             f"core(s), pool width {threads})",
+             f"{'op':<28} {'variant':<15} {'thr':>3} {'wall ms':>10} "
+             f"{'vs legacy':>10}"]
+    for row in entries:
+        ratio = row.get("speedup_vs_legacy")
+        lines.append(
+            f"{row['op']:<28} {row.get('variant', ''):<15} "
+            f"{row.get('threads', 1):>3} {row['wall_time_s'] * 1e3:>10.3f} "
+            f"{(f'{ratio:.2f}x' if ratio else '--'):>10}")
+    lines.append(f"int8 forecast max abs err vs float32: {int8_err:.5f}")
+    write_result("hotpath_variants", lines)
+
+    # Perf bars only where the host can physically deliver them.
+    if cores >= 4:
+        assert train8_legacy / train8_threaded >= 1.8, (
+            f"threaded train step {train8_legacy / train8_threaded:.2f}x "
+            f"< 1.8x on a {cores}-core host")
+        assert eval_legacy / eval_threaded >= 1.8, (
+            f"threaded batched eval {eval_legacy / eval_threaded:.2f}x "
+            f"< 1.8x on a {cores}-core host")
+        assert eval_legacy / eval_int8 >= 1.5, (
+            f"int8 fused eval {eval_legacy / eval_int8:.2f}x < 1.5x "
+            f"vs float32 fused on a {cores}-core host")

@@ -12,9 +12,23 @@ shared machines).
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware).
+
+    Container CPU quotas and taskset masks make ``os.cpu_count()`` lie;
+    the scheduler affinity set is the honest parallelism budget, so the
+    benches gate their scaling assertions on it.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:     # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _best_mean(fn, reps: int, trials: int = 4) -> float:

@@ -1,0 +1,400 @@
+"""Persistent thread pool sharding the conv hot paths across cores.
+
+numpy releases the GIL inside BLAS gemms and inside the raw dtype
+transfer loops that back ``np.copyto``/``np.add`` on large arrays, so a
+plain ``threading`` pool buys real parallelism for the layers' stacked
+matmuls, im2col gathers, and col2im scatters — no pickling, no process
+boundary, and every worker writes straight into the model's existing
+:class:`~repro.nn.workspace.Workspace` arena.
+
+Determinism contract (the reason results are *bitwise* stable):
+
+* Work is only ever split on the **sample (batch) axis** — or, for
+  batch-1 copies/scatters, an axis whose elements are computed fully
+  independently.  The stacked per-sample gemm the layers already use
+  (``out[i] = w @ col_i.T`` via one broadcast ``np.matmul``) computes
+  each sample with an independent BLAS call, so sample ``i``'s bits do
+  not depend on which thread ran it or on how many other samples shared
+  its shard.  Splitting a *single* gemm by rows is deliberately not
+  offered: BLAS blocking makes row ``i``'s rounding depend on the total
+  row count (see :func:`repro.nn.functional.blocked_matmul`).
+* Cross-sample reductions (weight-gradient sums) stay on the calling
+  thread in the legacy order.
+* ``threads=1`` (the default) never touches the pool: callers take the
+  exact serial code path, so the legacy bit pattern is preserved by
+  construction, and N-thread results equal 1-thread results for every N
+  because each element's computation is shard-invariant.
+
+The pool is process-global and lazily started: ``REPRO_THREADS`` (or
+:func:`set_num_threads`) picks the worker count, the first parallel
+region spawns ``threads - 1`` daemon workers (the caller runs shard 0),
+and a stored pid makes the pool fork-safe — a forked or spawned child
+sees a stale/absent pool and transparently rebuilds its own.
+
+Accounting: per-variant (``float32`` / ``int8``) gemm call counts and
+wall time accumulate in thread-local integer cells merged on read (sums
+of ints are order-independent, hence deterministic), per-worker busy
+nanoseconds are single-writer cells, and an optional metrics registry
+attached via :func:`attach_metrics` receives per-gemm latency
+observations for the obs layer's counters and histograms.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+
+import numpy as np
+
+ENV_THREADS = "REPRO_THREADS"
+
+#: Gemm variants tracked by the per-thread accounting.
+GEMM_VARIANTS = ("float32", "int8")
+
+_lock = threading.RLock()
+_num_threads: int | None = None      # resolved lazily from the environment
+_pool: "_Pool | None" = None
+
+# -- thread-count configuration ---------------------------------------------
+
+
+def _parse_env() -> int:
+    raw = os.environ.get(ENV_THREADS, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{ENV_THREADS} must be a positive integer, got {raw!r}"
+        ) from exc
+    if value < 1:
+        raise ValueError(
+            f"{ENV_THREADS} must be a positive integer, got {value}")
+    return value
+
+
+def get_num_threads() -> int:
+    """The configured thread count (``REPRO_THREADS``, default 1)."""
+    n = _num_threads
+    if n is None:
+        with _lock:
+            n = _num_threads
+            if n is None:
+                n = _parse_env()
+                _set_resolved(n)
+    return n
+
+
+def _set_resolved(n: int) -> None:
+    global _num_threads
+    _num_threads = n
+
+
+def set_num_threads(n: int) -> None:
+    """Set the global thread count; 1 restores the bitwise-legacy path.
+
+    Takes effect on the next parallel region — the pool grows lazily and
+    never shrinks (idle workers cost one blocked ``queue.get`` each), so
+    toggling between counts is free.
+    """
+    if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+        raise ValueError(f"thread count must be a positive int, got {n!r}")
+    with _lock:
+        _set_resolved(n)
+
+
+# -- per-variant gemm accounting --------------------------------------------
+
+
+class _GemmCell:
+    """One thread's gemm tallies for one variant (single-writer ints)."""
+
+    __slots__ = ("calls", "ns")
+
+    def __init__(self):
+        self.calls = 0
+        self.ns = 0
+
+
+class _ThreadStats(threading.local):
+    """Thread-local gemm cells, registered globally for merged reads."""
+
+    def __init__(self):
+        self.cells = {variant: _GemmCell() for variant in GEMM_VARIANTS}
+        with _lock:
+            _all_cells.append(self.cells)
+
+
+_all_cells: list[dict[str, _GemmCell]] = []
+_tls = _ThreadStats()
+
+#: Attached metrics sinks: id(registry) -> (counter children, histogram
+#: children) keyed by variant.  Normally empty or a single entry.
+_metric_sinks: dict[int, tuple[dict, dict]] = {}
+
+#: Histogram bounds for gemm latency (seconds) — gemms at the repo's
+#: scales run tens of microseconds to tens of milliseconds.
+GEMM_LATENCY_BUCKETS = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+                        3e-2, 1e-1, 3e-1, 1.0)
+
+
+def record_gemm(variant: str, ns: int) -> None:
+    """Account one stacked-gemm dispatch (caller-thread wall time)."""
+    cell = _tls.cells[variant]
+    cell.calls += 1
+    cell.ns += ns
+    if _metric_sinks:
+        seconds = ns / 1e9
+        for counters, histograms in tuple(_metric_sinks.values()):
+            counters[variant].inc()
+            histograms[variant].observe(seconds)
+
+
+def gemm_stats() -> dict:
+    """Merged per-variant gemm tallies (integer sums — deterministic)."""
+    with _lock:
+        cells = list(_all_cells)
+    out = {variant: {"calls": 0, "ns": 0} for variant in GEMM_VARIANTS}
+    for per_thread in cells:
+        for variant, cell in per_thread.items():
+            out[variant]["calls"] += cell.calls
+            out[variant]["ns"] += cell.ns
+    return out
+
+
+def reset_gemm_stats() -> None:
+    with _lock:
+        cells = list(_all_cells)
+    for per_thread in cells:
+        for cell in per_thread.values():
+            cell.calls = 0
+            cell.ns = 0
+
+
+def attach_metrics(registry) -> None:
+    """Mirror gemm accounting into an obs ``MetricsRegistry``.
+
+    Registers ``nn_threads_in_use`` (collected gauge), and per-variant
+    ``nn_gemm_total`` counters plus ``nn_gemm_seconds`` latency
+    histograms, labeled by ``variant``.  Idempotent per registry;
+    detach with :func:`detach_metrics` when the owner shuts down.
+    """
+    gauge = registry.gauge(
+        "nn_threads_in_use",
+        "Configured repro.nn gemm thread count", fn=get_num_threads)
+    del gauge
+    counter_family = registry.counter(
+        "nn_gemm_total", "Stacked-gemm dispatches by variant",
+        labelnames=("variant",))
+    histogram_family = registry.histogram(
+        "nn_gemm_seconds", "Stacked-gemm dispatch latency by variant",
+        buckets=GEMM_LATENCY_BUCKETS, labelnames=("variant",))
+    counters = {v: counter_family.labels(variant=v) for v in GEMM_VARIANTS}
+    histograms = {v: histogram_family.labels(variant=v)
+                  for v in GEMM_VARIANTS}
+    with _lock:
+        _metric_sinks[id(registry)] = (counters, histograms)
+
+
+def detach_metrics(registry) -> None:
+    with _lock:
+        _metric_sinks.pop(id(registry), None)
+
+
+# -- the pool ----------------------------------------------------------------
+
+
+class _Latch:
+    """Completion latch for one parallel region."""
+
+    __slots__ = ("sem", "errors")
+
+    def __init__(self):
+        self.sem = threading.Semaphore(0)
+        self.errors: list[BaseException] = []
+
+
+class _Pool:
+    """``n_workers`` daemon threads draining one task queue."""
+
+    def __init__(self, n_workers: int):
+        self.pid = os.getpid()
+        self._tasks: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads: list[threading.Thread] = []
+        self.busy_ns: list[int] = []
+        self._shut = False
+        self.grow(n_workers)
+
+    def grow(self, n_workers: int) -> None:
+        while len(self._threads) < n_workers:
+            index = len(self._threads)
+            self.busy_ns.append(0)
+            thread = threading.Thread(
+                target=self._worker, args=(index,),
+                name=f"repro-nn-{index}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def _worker(self, index: int) -> None:
+        while True:
+            item = self._tasks.get()
+            if item is None:
+                return
+            fn, start, stop, latch = item
+            t0 = time.perf_counter_ns()
+            try:
+                fn(start, stop)
+            except BaseException as exc:  # propagate to the caller
+                latch.errors.append(exc)
+            finally:
+                self.busy_ns[index] += time.perf_counter_ns() - t0
+                latch.sem.release()
+
+    def run(self, fn, spans: list[tuple[int, int]]) -> None:
+        """Run ``fn(start, stop)`` over spans; caller executes spans[0].
+
+        Always joins every dispatched shard before returning (even when
+        the caller's own shard raises) so no worker is still writing
+        into arena memory after the region exits.
+        """
+        latch = _Latch()
+        for start, stop in spans[1:]:
+            self._tasks.put((fn, start, stop, latch))
+        try:
+            fn(spans[0][0], spans[0][1])
+        finally:
+            for _ in spans[1:]:
+                latch.sem.acquire()
+        if latch.errors:
+            raise latch.errors[0]
+
+    def shutdown(self) -> None:
+        if self._shut:
+            return
+        self._shut = True
+        for _ in self._threads:
+            self._tasks.put(None)
+        if os.getpid() == self.pid:
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+        self._threads = []
+
+
+def _ensure_pool(n_threads: int) -> _Pool:
+    global _pool
+    with _lock:
+        pool = _pool
+        if pool is not None and pool.pid != os.getpid():
+            # Forked child: the parent's worker threads do not exist
+            # here.  Drop the stale handle and rebuild lazily.
+            pool = None
+        if pool is None:
+            pool = _Pool(n_threads - 1)
+            _pool = pool
+        elif len(pool._threads) < n_threads - 1:
+            pool.grow(n_threads - 1)
+        return pool
+
+
+def shutdown_pool() -> None:
+    """Stop the worker threads (idempotent; the pool restarts lazily)."""
+    global _pool
+    with _lock:
+        pool, _pool = _pool, None
+    if pool is not None:
+        pool.shutdown()
+
+
+def pool_stats() -> dict:
+    """Live pool shape + per-worker busy time (for obs snapshots)."""
+    with _lock:
+        pool = _pool
+        workers = list(pool.busy_ns) if pool is not None \
+            and pool.pid == os.getpid() else []
+    return {
+        "threads": get_num_threads(),
+        "pool_workers": len(workers),
+        "worker_busy_ms": [ns / 1e6 for ns in workers],
+    }
+
+
+def _spans(total: int, shards: int) -> list[tuple[int, int]]:
+    base, rem = divmod(total, shards)
+    spans = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < rem else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+def parallel_for(total: int, fn) -> None:
+    """Run ``fn(start, stop)`` over ``[0, total)`` in contiguous shards.
+
+    Serial (`fn(0, total)` on the calling thread) when the configured
+    thread count is 1 or there is nothing to split — the legacy path by
+    construction.  Exceptions from any shard propagate after all shards
+    finish.
+    """
+    n = get_num_threads()
+    if n <= 1 or total <= 1:
+        fn(0, total)
+        return
+    spans = _spans(total, min(n, total))
+    _ensure_pool(n).run(fn, spans)
+
+
+# -- sharded numpy primitives ------------------------------------------------
+
+
+def stacked_matmul(a: np.ndarray, b: np.ndarray, out: np.ndarray,
+                   variant: str = "float32") -> np.ndarray:
+    """``np.matmul(a, b, out=out)`` sharded on the stacked sample axis.
+
+    ``b``/``out`` are 3-D stacks; ``a`` is either a shared 2-D operand
+    (broadcast over samples) or a matching 3-D stack.  Each sample is an
+    independent BLAS call in both the serial and sharded forms, so the
+    result is bitwise identical for every thread count.  Batch-1 stacks
+    always run serial (a single gemm cannot be split bitwise-safely).
+    """
+    t0 = time.perf_counter_ns()
+    n = out.shape[0]
+    if n > 1 and get_num_threads() > 1:
+        if a.ndim == 2:
+            def shard(start, stop):
+                np.matmul(a, b[start:stop], out=out[start:stop])
+        else:
+            def shard(start, stop):
+                np.matmul(a[start:stop], b[start:stop],
+                          out=out[start:stop])
+        parallel_for(n, shard)
+    else:
+        np.matmul(a, b, out=out)
+    record_gemm(variant, time.perf_counter_ns() - t0)
+    return out
+
+
+def sharded_copy(dst: np.ndarray, src: np.ndarray,
+                 casting: str = "same_kind") -> None:
+    """``np.copyto(dst, src)`` sharded over the leading non-unit axis.
+
+    A copy is elementwise, so any split is value-preserving; sharding
+    follows the batch axis when it exists and the next axis for batch-1
+    shapes (the placement-oracle case).
+    """
+    if get_num_threads() <= 1:
+        np.copyto(dst, src, casting=casting)
+        return
+    if dst.shape[0] > 1:
+        parallel_for(dst.shape[0], lambda s, e: np.copyto(
+            dst[s:e], src[s:e], casting=casting))
+    elif dst.ndim > 1 and dst.shape[1] > 1:
+        d0, s0 = dst[0], src[0]
+        parallel_for(d0.shape[0], lambda s, e: np.copyto(
+            d0[s:e], s0[s:e], casting=casting))
+    else:
+        np.copyto(dst, src, casting=casting)

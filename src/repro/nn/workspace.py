@@ -30,6 +30,7 @@ parity suite compares the arena against.
 
 from __future__ import annotations
 
+import threading
 from math import prod
 
 import numpy as np
@@ -73,7 +74,12 @@ class Workspace:
         #: backings.
         self.epoch = 0
         # Incremental byte accounting: kept in sync on every realloc so
-        # observability reads are O(1), not a slot-table walk.
+        # observability reads are O(1), not a slot-table walk.  The lock
+        # makes the decrement/increment/high-water triplet atomic:
+        # metrics threads (and pool-threaded passes racing an engine's
+        # /metrics reader) must never observe the torn middle state where
+        # the old buffer is subtracted but the new one not yet added.
+        self._acct_lock = threading.Lock()
         self._live_bytes = 0
         self._peak_bytes = 0
 
@@ -99,15 +105,15 @@ class Workspace:
         size = prod(shape)
         flat = slot.flat
         if flat is None or flat.dtype != dt or flat.size < size:
-            if flat is not None:
-                self._live_bytes -= flat.nbytes
+            old_nbytes = flat.nbytes if flat is not None else 0
             flat = np.empty(max(size, 1), dtype=dt)
             slot.flat = flat
             slot.views = {}
             self.epoch += 1
-            self._live_bytes += flat.nbytes
-            if self._live_bytes > self._peak_bytes:
-                self._peak_bytes = self._live_bytes
+            with self._acct_lock:
+                self._live_bytes += flat.nbytes - old_nbytes
+                if self._live_bytes > self._peak_bytes:
+                    self._peak_bytes = self._live_bytes
         view = flat[:size].reshape(shape)
         slot.views[shape] = view
         return view
@@ -135,10 +141,12 @@ class Workspace:
         Tracked incrementally on realloc (O(1) to read) and *not* reset
         by :meth:`clear` — the point is the worst case a run ever needed.
         """
-        return self._peak_bytes
+        with self._acct_lock:
+            return self._peak_bytes
 
     def clear(self) -> None:
         """Drop every backing buffer (e.g. before pickling a model)."""
         self._slots.clear()
         self.epoch += 1
-        self._live_bytes = 0
+        with self._acct_lock:
+            self._live_bytes = 0

@@ -15,6 +15,15 @@ Gemm counts come from a ``GEMM_COUNTS`` class attribute on the layer
 which the shim accounts for.  Workspace high-water bytes are read from
 the arena's own ``peak_nbytes`` counter at snapshot time.
 
+Accumulation is **thread-local**: each thread that executes profiled
+methods (e.g. several serve worker threads sharing one profiler) writes
+its own integer cells, registered once under a lock and merged at read
+time — integer sums are order-independent, so a snapshot is
+deterministic no matter how the work interleaved, and no increment is
+ever lost to a torn read-modify-write.  Snapshots also attribute time
+per thread, and fold in the ``repro.nn.parallel`` pool's per-worker
+busy time and per-variant gemm tallies when that subsystem is loaded.
+
 This module is stdlib-only — it duck-types against ``repro.nn`` modules
 without importing numpy, so ``repro.obs`` stays importable everywhere.
 """
@@ -22,6 +31,8 @@ without importing numpy, so ``repro.obs`` stays importable everywhere.
 from __future__ import annotations
 
 import functools
+import sys
+import threading
 import time
 
 #: Compute methods a leaf module may define; wrapped when overridden.
@@ -55,11 +66,42 @@ class Profiler:
     """Accumulate per-layer timing by shimming leaf-module methods."""
 
     def __init__(self):
-        # (layer path, method name) -> _Stat
-        self._stats: dict[tuple[str, str], _Stat] = {}
+        # Per-thread stat tables: thread-local handle for writers, plus
+        # a registration list [(seq, thread name, table)] for readers.
+        # Registration order is the only nondeterminism and it cannot
+        # leak: merged values are integer sums.
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._threads: list[tuple[int, str, dict[tuple[str, str], _Stat]]] = []
         # (module, method name) -> True while shimmed, for clean detach
         self._wrapped: list[tuple[object, str]] = []
         self._attached_roots: list[object] = []
+
+    def _thread_table(self) -> dict[tuple[str, str], _Stat]:
+        table = getattr(self._local, "table", None)
+        if table is None:
+            table = {}
+            self._local.table = table
+            with self._lock:
+                self._threads.append(
+                    (len(self._threads), threading.current_thread().name,
+                     table))
+        return table
+
+    def _merged(self) -> dict[tuple[str, str], _Stat]:
+        """Stats summed across threads (deterministic: integer sums)."""
+        with self._lock:
+            tables = [table for _, _, table in self._threads]
+        merged: dict[tuple[str, str], _Stat] = {}
+        for table in tables:
+            for key, stat in list(table.items()):
+                into = merged.get(key)
+                if into is None:
+                    merged[key] = into = _Stat()
+                into.calls += stat.calls
+                into.ns += stat.ns
+                into.gemms += stat.gemms
+        return merged
 
     @property
     def attached(self) -> bool:
@@ -89,11 +131,19 @@ class Profiler:
 
     def _shim(self, leaf, path: str, method: str) -> None:
         original = getattr(leaf, method)  # bound method
-        stat = self._stats.setdefault((path, method), _Stat())
+        key = (path, method)
+        # Pre-register a zero entry on the attaching thread so wrapped-
+        # but-never-called methods still appear in snapshots.
+        self._thread_table().setdefault(key, _Stat())
+        thread_table = self._thread_table
         perf_ns = time.perf_counter_ns
 
         @functools.wraps(original)
         def wrapper(*args, **kwargs):
+            table = thread_table()
+            stat = table.get(key)
+            if stat is None:
+                stat = table.setdefault(key, _Stat())
             start = perf_ns()
             try:
                 return original(*args, **kwargs)
@@ -123,14 +173,25 @@ class Profiler:
     # -- results -----------------------------------------------------------
 
     def reset(self) -> None:
-        for stat in self._stats.values():
-            stat.calls = stat.ns = stat.gemms = 0
+        with self._lock:
+            tables = [table for _, _, table in self._threads]
+        for table in tables:
+            for stat in list(table.values()):
+                stat.calls = stat.ns = stat.gemms = 0
 
     def snapshot(self, workspace=None) -> dict:
-        """Deterministically-ordered stats, plus arena bytes if given."""
+        """Deterministically-ordered stats, plus arena bytes if given.
+
+        ``layers``/``totals`` merge every executing thread's cells (sums
+        of integers — order-independent, hence deterministic).  The
+        ``threads`` section attributes wall time per executing thread,
+        and ``parallel`` reports the gemm pool's configuration,
+        per-worker busy time, and per-variant gemm tallies whenever
+        ``repro.nn.parallel`` is loaded in this process.
+        """
         layers: dict[str, dict] = {}
         totals = {"calls": 0, "ms": 0.0, "gemms": 0}
-        for (path, method), stat in sorted(self._stats.items()):
+        for (path, method), stat in sorted(self._merged().items()):
             entry = layers.setdefault(path, {})
             entry[method] = {
                 "calls": stat.calls,
@@ -141,6 +202,22 @@ class Profiler:
             totals["ms"] += stat.ns / 1e6
             totals["gemms"] += stat.gemms
         document = {"layers": layers, "totals": totals}
+        with self._lock:
+            registered = list(self._threads)
+        threads = {}
+        for seq, name, table in registered:
+            calls = ns = 0
+            for stat in list(table.values()):
+                calls += stat.calls
+                ns += stat.ns
+            threads[f"{seq}:{name}"] = {"calls": calls, "ms": ns / 1e6}
+        document["threads"] = threads
+        # The gemm pool ships its own accounting; fold it in when the
+        # subsystem is already imported (never import numpy from here).
+        nn_parallel = sys.modules.get("repro.nn.parallel")
+        if nn_parallel is not None:
+            document["parallel"] = dict(nn_parallel.pool_stats(),
+                                        gemms=nn_parallel.gemm_stats())
         if workspace is not None:
             document["workspace"] = {
                 "nbytes": int(workspace.nbytes),
@@ -152,7 +229,7 @@ class Profiler:
         """A plain-text per-layer table, slowest first."""
         rows = sorted(
             ((stat.ns, path, method, stat)
-             for (path, method), stat in self._stats.items()
+             for (path, method), stat in self._merged().items()
              if stat.calls),
             reverse=True)
         if top:

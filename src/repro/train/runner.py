@@ -606,6 +606,12 @@ class Runner:
 
     def _run(self, stop_after_steps: int | None,
              log_every: int | None, on_phase) -> RunResult:
+        if self.spec.threads != 1:
+            # Widen the gemm pool for the conv hot paths; any width
+            # computes bitwise the same run (see repro.nn.parallel).
+            from repro.nn import set_num_threads
+
+            set_num_threads(self.spec.threads)
         result = RunResult(status="completed", run_dir=self.run_dir,
                            global_step=self.cursor.global_step)
         if (stop_after_steps is not None

@@ -1,0 +1,374 @@
+"""Threaded gemm pool + int8 fused inference: determinism and lifecycle.
+
+The contract under test (see :mod:`repro.nn.parallel`):
+
+* **Bitwise determinism** — N-thread float32 execution produces byte-
+  for-byte the same trained weights, losses, and forecasts as serial
+  execution, for every N: work splits only on axes whose elements are
+  computed independently, and cross-sample reductions keep the legacy
+  order.
+* **int8 accuracy** — quantized fused eval is opt-in and gated against
+  the committed golden eval fixtures: metrics may move, but only within
+  an explicit (still tiny) tolerance, and int8 reports are marked so
+  they can never pass as the float32 reference.
+* **Lifecycle** — the pool is lazy, fork-safe, grow-only, and
+  idempotently shut down; accounting (profiler attribution, workspace
+  high-water, gemm tallies) stays exact under concurrency.
+"""
+
+import multiprocessing
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    CheckpointForecaster,
+    compare_reports,
+    evaluate_store,
+    evaluation_report,
+    load_report,
+)
+from repro.gan import Pix2Pix, Pix2PixConfig
+from repro.nn import parallel
+from repro.serve import BatchingEngine, ModelRegistry
+
+EVAL_FIXTURES = Path(__file__).parent / "fixtures" / "eval"
+
+#: Per-metric absolute tolerance for the int8 golden gate.  An order of
+#: magnitude looser than the float32 gate's 1e-4 (quantization is lossy
+#: by design) but still far below any meaningful forecast-quality move;
+#: measured int8 drift on the fixture model is ~1e-6.
+INT8_GOLDEN_TOLERANCE = 1e-3
+
+
+@pytest.fixture(autouse=True)
+def _restore_serial():
+    """Every test leaves the process back on the bitwise-legacy path."""
+    yield
+    parallel.set_num_threads(1)
+
+
+def _tiny(seed: int = 3) -> Pix2Pix:
+    return Pix2Pix(Pix2PixConfig(image_size=16, base_filters=4,
+                                 disc_filters=4, seed=seed))
+
+
+def _train_fingerprint(threads: int, steps: int = 2, batch: int = 3):
+    """Losses + full parameter state after a short run at ``threads``."""
+    parallel.set_num_threads(threads)
+    model = _tiny()
+    rng = np.random.default_rng(11)
+    x = rng.normal(size=(batch, 4, 16, 16)).astype(np.float32)
+    y = np.tanh(rng.normal(size=(batch, 3, 16, 16))).astype(np.float32)
+    losses = []
+    for _ in range(steps):
+        step = model.train_step(x, y)
+        losses.append((step.d_real, step.d_fake, step.g_gan, step.g_l1))
+    state = {}
+    for prefix, net in (("G", model.generator), ("D", model.discriminator)):
+        for key, value in net.state_dict().items():
+            state[f"{prefix}.{key}"] = value.tobytes()
+    forecast = model.forecast(x).copy()
+    return losses, state, forecast
+
+
+class TestBitwiseDeterminism:
+    """N threads must equal 1 thread byte for byte, for every N."""
+
+    @pytest.mark.parametrize("threads", [2, 4, 7])
+    def test_train_step_bitwise_equal(self, threads):
+        losses_1, state_1, forecast_1 = _train_fingerprint(1)
+        losses_n, state_n, forecast_n = _train_fingerprint(threads)
+        assert losses_n == losses_1
+        assert forecast_n.tobytes() == forecast_1.tobytes()
+        assert state_n.keys() == state_1.keys()
+        for key, reference in state_1.items():
+            assert state_n[key] == reference, key
+
+    @pytest.mark.parametrize("threads", [2, 4, 7])
+    def test_fused_eval_bitwise_equal(self, threads, tiny_model,
+                                      tiny_inputs):
+        batch = np.stack(list(tiny_inputs[:5]))
+        parallel.set_num_threads(1)
+        serial = tiny_model.forecast(batch).copy()
+        parallel.set_num_threads(threads)
+        assert tiny_model.forecast(batch).tobytes() == serial.tobytes()
+
+    def test_batch1_eval_bitwise_equal(self, tiny_model, tiny_inputs):
+        """Batch-1 (the placement-oracle shape) shards channels only."""
+        parallel.set_num_threads(1)
+        serial = tiny_model.forecast(tiny_inputs[0]).copy()
+        parallel.set_num_threads(4)
+        assert tiny_model.forecast(
+            tiny_inputs[0]).tobytes() == serial.tobytes()
+
+    @pytest.mark.parametrize("threads", [2, 4, 7])
+    def test_serve_batched_path_bitwise_equal(self, threads, tiny_model,
+                                              tiny_inputs):
+        parallel.set_num_threads(1)
+        expected = [tiny_model.forecast(x).copy() for x in tiny_inputs]
+        registry = ModelRegistry()
+        registry.register("tiny", tiny_model)
+        with BatchingEngine(registry, max_batch=8, max_wait_ms=20.0,
+                            threads=threads) as engine:
+            futures = [engine.submit("tiny", x) for x in tiny_inputs]
+            results = [f.result(timeout=30.0) for f in futures]
+        for reference, result in zip(expected, results):
+            assert result.image.tobytes() == reference.tobytes()
+
+
+class TestInt8Golden:
+    """Quantized eval is gated by the committed golden fixtures."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load_report(EVAL_FIXTURES / "golden_report.json")
+
+    @pytest.fixture(scope="class")
+    def int8_report(self):
+        from repro.data import ShardedStore
+
+        store = ShardedStore.open(EVAL_FIXTURES / "store")
+        forecaster = CheckpointForecaster.from_checkpoint(
+            EVAL_FIXTURES / "model.npz", inference_mode="int8")
+        result = evaluate_store(store, forecaster, batch_size=4)
+        return evaluation_report(store, result, forecaster.identity,
+                                 batch_size=4)
+
+    def test_metrics_within_int8_tolerance(self, golden, int8_report):
+        comparison = compare_reports(
+            golden, int8_report,
+            tolerances={name: INT8_GOLDEN_TOLERANCE
+                        for name in golden["metrics"]},
+            default_tolerance=INT8_GOLDEN_TOLERANCE)
+        assert comparison.ok, (
+            "int8 fused eval drifted beyond the quantization tolerance "
+            "vs the golden report:\n" + comparison.format())
+
+    def test_nrms_delta_is_tiny(self, golden, int8_report):
+        delta = abs(int8_report["metrics"]["nrms"]
+                    - golden["metrics"]["nrms"])
+        assert delta < INT8_GOLDEN_TOLERANCE
+
+    def test_int8_report_is_marked(self, int8_report):
+        """An int8 report can never masquerade as the float32 golden."""
+        assert int8_report["model"]["inference_mode"] == "int8"
+
+    def test_float32_identity_is_unmarked(self):
+        forecaster = CheckpointForecaster.from_checkpoint(
+            EVAL_FIXTURES / "model.npz")
+        assert "inference_mode" not in forecaster.identity
+
+    def test_parallel_workers_match_serial_int8(self, int8_report):
+        """workers>1 rebuilds forecasters in-process: the mode must ride
+        through the pool initializer, not be lost to a fresh default."""
+        from repro.data import ShardedStore
+        from repro.eval.report import render_report
+
+        store = ShardedStore.open(EVAL_FIXTURES / "store")
+        forecaster = CheckpointForecaster.from_checkpoint(
+            EVAL_FIXTURES / "model.npz", inference_mode="int8")
+        result = evaluate_store(store, forecaster, batch_size=4,
+                                workers=2)
+        report = evaluation_report(store, result, forecaster.identity,
+                                   batch_size=4)
+        assert render_report(report) == render_report(int8_report)
+
+    def test_mode_roundtrip_restores_bitwise_float32(self, tiny_model,
+                                                     tiny_inputs):
+        batch = np.stack(list(tiny_inputs[:3]))
+        reference = tiny_model.forecast(batch).copy()
+        quantized = tiny_model.set_inference_mode("int8").forecast(batch)
+        assert quantized.tobytes() != reference.tobytes()
+        assert np.max(np.abs(quantized - reference)) < 0.05
+        restored = tiny_model.set_inference_mode("float32").forecast(batch)
+        assert restored.tobytes() == reference.tobytes()
+
+    def test_rejects_unknown_mode(self, tiny_model):
+        with pytest.raises(ValueError, match="inference mode"):
+            tiny_model.set_inference_mode("int4")
+
+
+class TestPoolLifecycle:
+    def test_set_num_threads_validates(self):
+        for bad in (0, -2, True, 2.0, "4", None):
+            with pytest.raises(ValueError):
+                parallel.set_num_threads(bad)
+
+    def test_get_reflects_set(self):
+        parallel.set_num_threads(5)
+        assert parallel.get_num_threads() == 5
+
+    def test_shutdown_is_idempotent_and_pool_restarts(self):
+        parallel.shutdown_pool()          # drop workers grown elsewhere
+        parallel.set_num_threads(3)
+        a = np.arange(24, dtype=np.float32).reshape(4, 2, 3)
+        b = np.arange(12, dtype=np.float32).reshape(4, 3, 1)
+        out = np.empty((4, 2, 1), dtype=np.float32)
+        parallel.stacked_matmul(a, b, out)
+        assert parallel.pool_stats()["pool_workers"] == 2
+        parallel.shutdown_pool()
+        parallel.shutdown_pool()          # second call is a no-op
+        assert parallel.pool_stats()["pool_workers"] == 0
+        again = np.empty_like(out)        # next region restarts lazily
+        parallel.stacked_matmul(a, b, again)
+        assert again.tobytes() == out.tobytes()
+        assert parallel.pool_stats()["pool_workers"] == 2
+
+    def test_pool_grows_but_never_shrinks(self):
+        parallel.shutdown_pool()
+        parallel.set_num_threads(2)
+        parallel.parallel_for(4, lambda s, e: None)
+        assert parallel.pool_stats()["pool_workers"] == 1
+        parallel.set_num_threads(4)
+        parallel.parallel_for(4, lambda s, e: None)
+        assert parallel.pool_stats()["pool_workers"] == 3
+        parallel.set_num_threads(2)
+        parallel.parallel_for(4, lambda s, e: None)
+        assert parallel.pool_stats()["pool_workers"] == 3
+
+    def test_shard_exception_propagates_after_join(self):
+        parallel.set_num_threads(4)
+
+        def boom(start, stop):
+            if start == 0:
+                raise RuntimeError("shard 0 failed")
+
+        with pytest.raises(RuntimeError, match="shard 0 failed"):
+            parallel.parallel_for(4, boom)
+        # The pool survives a failed region.
+        parallel.parallel_for(4, lambda s, e: None)
+
+    def test_forked_child_rebuilds_stale_pool(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork start method on this platform")
+        parallel.set_num_threads(3)
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(6, 4, 5)).astype(np.float32)
+        b = rng.normal(size=(6, 5, 2)).astype(np.float32)
+        expected = np.matmul(a, b)
+        out = np.empty_like(expected)
+        parallel.stacked_matmul(a, b, out)   # parent pool now exists
+        assert out.tobytes() == expected.tobytes()
+
+        ctx = multiprocessing.get_context("fork")
+        child_bytes = ctx.SimpleQueue()
+        process = ctx.Process(target=_fork_child, args=(a, b, child_bytes))
+        process.start()
+        payload = child_bytes.get()
+        process.join(timeout=30.0)
+        assert process.exitcode == 0
+        assert payload == expected.tobytes()
+
+    def test_spans_cover_range_exactly(self):
+        for total in (1, 2, 7, 16):
+            for shards in (1, 2, 3, 7):
+                spans = parallel._spans(total, min(shards, total))
+                assert spans[0][0] == 0 and spans[-1][1] == total
+                for (_, stop), (start, _) in zip(spans, spans[1:]):
+                    assert start == stop
+
+
+def _fork_child(a, b, out_queue):
+    """Runs in a forked child: the inherited pool handle has a stale pid
+    and no live worker threads; the first region must rebuild it."""
+    out = np.empty((a.shape[0], a.shape[1], b.shape[2]), dtype=a.dtype)
+    parallel.stacked_matmul(a, b, out)
+    stats = parallel.pool_stats()
+    assert stats["pool_workers"] == 2, stats
+    out_queue.put(out.tobytes())
+
+
+class TestAccounting:
+    def test_gemm_stats_track_variants(self, tiny_model, tiny_inputs):
+        parallel.reset_gemm_stats()
+        batch = np.stack(list(tiny_inputs[:2]))
+        tiny_model.forecast(batch)
+        stats = parallel.gemm_stats()
+        assert stats["float32"]["calls"] > 0
+        assert stats["int8"]["calls"] == 0
+        tiny_model.set_inference_mode("int8")
+        try:
+            tiny_model.forecast(batch)
+        finally:
+            tiny_model.set_inference_mode("float32")
+        stats = parallel.gemm_stats()
+        assert stats["int8"]["calls"] > 0
+
+    def test_profiler_attributes_threads(self, make_model):
+        from repro.obs import Profiler
+
+        model = make_model(seed=7)
+        rng = np.random.default_rng(2)
+        inputs = [rng.normal(size=(1, 4, 16, 16)).astype(np.float32)
+                  for _ in range(2)]
+        profiler = Profiler()
+        profiler.attach(model.generator, "G")
+        try:
+            workers = [threading.Thread(target=model.generator.forward_eval,
+                                        args=(x,)) for x in inputs[:1]]
+            model.generator.forward_eval(inputs[1])
+            for worker in workers:
+                worker.start()
+                worker.join()
+            snapshot = profiler.snapshot()
+        finally:
+            profiler.detach()
+        per_thread = [t["calls"] for t in snapshot["threads"].values()]
+        assert sum(per_thread) == snapshot["totals"]["calls"]
+        assert sum(1 for calls in per_thread if calls) >= 2
+        assert "parallel" in snapshot
+        assert set(snapshot["parallel"]["gemms"]) == {"float32", "int8"}
+
+    def test_workspace_peak_is_stable_under_threads(self, make_model):
+        model = make_model(seed=9)
+        rng = np.random.default_rng(4)
+        batch = rng.normal(size=(4, 4, 16, 16)).astype(np.float32)
+        parallel.set_num_threads(4)
+        model.forecast(batch)
+        peak = model.workspace.peak_nbytes
+        assert peak >= model.workspace.nbytes > 0
+        for _ in range(3):
+            model.forecast(batch)
+            assert model.workspace.peak_nbytes == peak
+
+
+class TestSpecAndEngineKnobs:
+    def test_trainspec_threads_validates(self):
+        from repro.train import TrainSpec
+
+        assert TrainSpec(name="run", threads=4).threads == 4
+        for bad in (0, -1, True, 1.5):
+            with pytest.raises(ValueError, match="threads"):
+                TrainSpec(name="run", threads=bad)
+
+    def test_trainspec_threads_roundtrips_json(self):
+        from repro.train import TrainSpec
+
+        spec = TrainSpec(name="run", threads=3)
+        assert TrainSpec.from_json(spec.to_json()).threads == 3
+
+    def test_engine_validates_knobs(self, tiny_model):
+        registry = ModelRegistry()
+        registry.register("tiny", tiny_model)
+        with pytest.raises(ValueError, match="threads"):
+            BatchingEngine(registry, threads=0)
+        with pytest.raises(ValueError, match="inference_mode"):
+            BatchingEngine(registry, inference_mode="fp16")
+
+    def test_engine_applies_inference_mode(self, make_model, tiny_inputs):
+        model = make_model(seed=13)
+        parallel.set_num_threads(1)
+        reference = model.forecast(tiny_inputs[0]).copy()
+        registry = ModelRegistry()
+        registry.register("tiny", model)
+        with BatchingEngine(registry, max_batch=2, max_wait_ms=0.0,
+                            inference_mode="int8") as engine:
+            quantized = engine.forecast("tiny", tiny_inputs[0])
+        assert quantized.tobytes() != reference.tobytes()
+        assert np.max(np.abs(quantized - reference)) < 0.05
+        model.set_inference_mode("float32")
+        assert model.forecast(
+            tiny_inputs[0]).tobytes() == reference.tobytes()
